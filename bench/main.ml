@@ -1,0 +1,176 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Figures 9 and 10) and of its stated complexity claims (Lemmas 4/6,
+   Theorems 2/3), plus the §4.4/§5 ablations, printing the same series
+   the paper plots together with the expected shape. Pass --quick for a
+   smoke-sized run.
+
+   Part 2 re-runs the formal safety artillery (prefix property +
+   refinement chain) at bench-sized bounds.
+
+   Part 3 is a Bechamel micro-benchmark suite: one Test.make per
+   experiment id, each timing the underlying simulation workload at a
+   fixed size, plus engine/TRS throughput primitives. *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_figures () =
+  Format.printf "==================================================@.";
+  Format.printf "  Paper artefact regeneration (%s mode)@."
+    (if quick then "quick" else "full");
+  Format.printf "==================================================@.@.";
+  List.iter
+    (fun r -> Format.printf "%a@." Tokenring.Experiments.pp_result r)
+    (Tokenring.Experiments.all ~quick ~seed:42 ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: formal checks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let formal_checks () =
+  Format.printf "==================================================@.";
+  Format.printf "  Formal checks (prefix property, refinement chain)@.";
+  Format.printf "==================================================@.";
+  let max_states = if quick then 1000 else 8000 in
+  List.iter
+    (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+    (Tokenring.Verify.prefix_checks ~max_states ~ns:[ 2; 3 ] ());
+  List.iter
+    (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+    (Tokenring.Verify.refinement_checks ~max_states:(max_states / 5) ~n:2 ());
+  List.iter
+    (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+    (Tokenring.Verify.liveness_checks ~max_states:(max_states / 4) ~n:2 ());
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let simulate protocol ~n ~mean ~serves () =
+  let config =
+    {
+      (Tokenring.Engine.default_config ~n ~seed:7) with
+      workload = Tokenring.Workload.Global_poisson { mean_interarrival = mean };
+    }
+  in
+  ignore
+    (Tokenring.Runner.run protocol config
+       ~stop:
+         (Tokenring.Engine.First_of
+            [ Tokenring.Engine.After_serves serves;
+              Tokenring.Engine.At_time 100000.0 ]))
+
+let bench_tests =
+  let t name fn = Test.make ~name (Staged.stage fn) in
+  [
+    (* One Test.make per reproduced artefact: the simulation kernel that
+       generates that table's data points, at a fixed representative size. *)
+    t "fig9:ring-n64" (simulate Tr_proto.Ring.protocol ~n:64 ~mean:10.0 ~serves:200);
+    t "fig9:binsearch-n64"
+      (simulate Tr_proto.Binsearch.protocol ~n:64 ~mean:10.0 ~serves:200);
+    t "fig10:ring-light-n100"
+      (simulate Tr_proto.Ring.protocol ~n:100 ~mean:100.0 ~serves:50);
+    t "fig10:binsearch-light-n100"
+      (simulate Tr_proto.Binsearch.protocol ~n:100 ~mean:100.0 ~serves:50);
+    t "lem4:ring-single-n256" (fun () ->
+        simulate Tr_proto.Ring.protocol ~n:256 ~mean:5000.0 ~serves:2 ());
+    t "lem6+thm2:binsearch-single-n256" (fun () ->
+        simulate Tr_proto.Binsearch.protocol ~n:256 ~mean:5000.0 ~serves:2 ());
+    t "thm3:continuous-competitor" (fun () ->
+        let config =
+          {
+            (Tokenring.Engine.default_config ~n:32 ~seed:7) with
+            workload = Tokenring.Workload.Continuous { node = 1 };
+          }
+        in
+        ignore
+          (Tokenring.Runner.run Tr_proto.Binsearch.protocol config
+             ~stop:(Tokenring.Engine.After_serves 100)));
+    t "opt-msg:throttled"
+      (simulate Tr_proto.Binsearch.protocol_throttled ~n:64 ~mean:10.0 ~serves:200);
+    t "opt-msg:directed"
+      (simulate Tr_proto.Directed.protocol ~n:64 ~mean:10.0 ~serves:200);
+    t "opt-msg:gc-rotation"
+      (simulate Tr_proto.Cleanup.protocol_rotation ~n:64 ~mean:10.0 ~serves:200);
+    t "tree:raymond-n63" (simulate Tr_proto.Tree.protocol ~n:63 ~mean:10.0 ~serves:200);
+    t "adapt:adaptive-light"
+      (simulate Tr_proto.Adaptive.protocol ~n:64 ~mean:100.0 ~serves:50);
+    t "adapt:pushpull-light"
+      (simulate Tr_proto.Pushpull.protocol ~n:64 ~mean:100.0 ~serves:50);
+    t "baseline:suzuki-kasami"
+      (simulate Tr_proto.Suzuki_kasami.protocol ~n:64 ~mean:10.0 ~serves:200);
+    t "ext:membership-churn" (fun () ->
+        let module P =
+          (val Tr_proto.Membership.make ~initial_members:48
+                 ~joins:[ (50, 20.0); (51, 40.0) ]
+                 ~leaves:[ (3, 30.0) ]
+                 ())
+        in
+        let config =
+          {
+            (Tokenring.Engine.default_config ~n:64 ~seed:7) with
+            workload = Tokenring.Workload.Global_poisson { mean_interarrival = 10.0 };
+          }
+        in
+        ignore
+          (Tokenring.Runner.run (module P) config
+             ~stop:
+               (Tokenring.Engine.First_of
+                  [ Tokenring.Engine.After_serves 150;
+                    Tokenring.Engine.At_time 50000.0 ])));
+    (* Substrate primitives. *)
+    t "substrate:trs-explore-binsearch" (fun () ->
+        ignore
+          (Tr_trs.Explore.bfs ~max_states:300
+             (Tr_specs.System_binsearch.system ~n:2)
+             ~init:(Tr_specs.System_binsearch.initial ~n:2 ~data_budget:1)));
+    t "substrate:engine-idle-rotation" (fun () ->
+        simulate Tr_proto.Ring.protocol ~n:128 ~mean:1e6 ~serves:1 ());
+  ]
+
+let run_bechamel () =
+  Format.printf "==================================================@.";
+  Format.printf "  Bechamel micro-benchmarks (ns per simulation run)@.";
+  Format.printf "==================================================@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~stabilize:false ()
+  in
+  let tests = Test.make_grouped ~name:"tokenring" ~fmt:"%s/%s" bench_tests in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Format.printf "%-45s %15s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.3f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Format.printf "%-45s %15s@." name pretty
+      | Some _ | None -> Format.printf "%-45s %15s@." name "n/a")
+    rows
+
+let () =
+  regenerate_figures ();
+  formal_checks ();
+  run_bechamel ()

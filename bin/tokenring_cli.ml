@@ -1,0 +1,377 @@
+(* Command-line front end: run protocols, regenerate the paper's figures,
+   and machine-check the specifications. *)
+
+open Cmdliner
+
+(* ---------------- shared options ---------------- *)
+
+let nodes =
+  Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Ring size.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let mean =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "mean" ] ~docv:"T"
+        ~doc:"Mean request interarrival time (global Poisson workload).")
+
+let serves =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "serves" ] ~docv:"K" ~doc:"Stop after K served requests.")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps (for smoke runs).")
+
+let protocol_arg =
+  let doc =
+    Printf.sprintf "Protocol to run. One of: %s."
+      (String.concat ", " Tokenring.Registry.names)
+  in
+  Arg.(value & opt string "binsearch" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun { Tokenring.Registry.name; describe; kind; _ } ->
+        let tag =
+          match kind with
+          | `Baseline -> "baseline"
+          | `Paper -> "paper"
+          | `Optimization -> "optimization"
+          | `Extension -> "extension"
+        in
+        Format.printf "%-20s [%-12s] %s@." name tag describe)
+      Tokenring.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available protocols") Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let run protocol n seed mean serves workload_spec network_spec json histogram
+      =
+    let workload =
+      match workload_spec with
+      | None -> Ok (Tokenring.Workload.Global_poisson { mean_interarrival = mean })
+      | Some spec -> Tokenring.Scenario.workload_of_string spec
+    in
+    let network =
+      match network_spec with
+      | None -> Ok Tokenring.Network.default
+      | Some spec -> Tokenring.Scenario.network_of_string spec
+    in
+    match (workload, network) with
+    | Error e, _ | _, Error e -> Format.printf "error: %s@." e; exit 2
+    | Ok workload, Ok network ->
+        let config =
+          { (Tokenring.Engine.default_config ~n ~seed) with workload; network }
+        in
+        let outcome =
+          Tokenring.Runner.run_named protocol config
+            ~stop:
+              (Tokenring.Engine.First_of
+                 [ Tokenring.Engine.After_serves serves;
+                   Tokenring.Engine.At_time 5e6 ])
+        in
+        if json then print_string (Tokenring.Export.outcome_to_json outcome)
+        else begin
+          Format.printf "%a@." Tokenring.Runner.pp_outcome outcome;
+          if histogram then begin
+            let q =
+              Tokenring.Metrics.responsiveness_quantiles
+                outcome.Tokenring.Runner.metrics
+            in
+            let samples = Tr_stats.Quantile.to_sorted_array q in
+            if Array.length samples > 1 then begin
+              let hi = samples.(Array.length samples - 1) +. 1e-9 in
+              let h = Tr_stats.Histogram.create ~lo:0.0 ~hi ~bins:16 in
+              Array.iter (Tr_stats.Histogram.add h) samples;
+              Format.printf "responsiveness distribution:@.%a@."
+                Tr_stats.Histogram.pp h
+            end
+          end
+        end
+  in
+  let workload_spec =
+    let doc =
+      Printf.sprintf "Workload spec, e.g. %s. Overrides --mean."
+        (String.concat ", " Tokenring.Scenario.workload_examples)
+    in
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"SPEC" ~doc)
+  in
+  let network_spec =
+    let doc =
+      Printf.sprintf "Network spec, e.g. %s."
+        (String.concat ", " Tokenring.Scenario.network_examples)
+    in
+    Arg.(value & opt (some string) None & info [ "net"; "network" ] ~docv:"SPEC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol under a configurable scenario")
+    Term.(
+      const run $ protocol_arg $ nodes $ seed $ mean $ serves $ workload_spec
+      $ network_spec
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as JSON.")
+      $ Arg.(
+          value & flag
+          & info [ "histogram" ] ~doc:"Also print the responsiveness histogram."))
+
+(* ---------------- exp ---------------- *)
+
+let exp_cmd =
+  let run id quick seed csv json =
+    let results = Tokenring.Experiments.all ~quick ~seed () in
+    let wanted r =
+      String.equal id "all"
+      || String.equal (String.uppercase_ascii id) r.Tokenring.Experiments.id
+    in
+    let matched = List.filter wanted results in
+    if matched = [] then
+      Format.printf "unknown experiment %S; known: %s@." id
+        (String.concat ", "
+           (List.map (fun r -> r.Tokenring.Experiments.id) results))
+    else
+      List.iter
+        (fun r ->
+          if json then
+            print_string (Tokenring.Export.result_to_json r)
+          else if csv then
+            Format.printf "# %s: %s@.%s@." r.Tokenring.Experiments.id
+              r.Tokenring.Experiments.title
+              (Tokenring.Series.Table.to_csv r.Tokenring.Experiments.table)
+          else Format.printf "%a@." Tokenring.Experiments.pp_result r)
+        matched
+  in
+  let id =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (FIG9, FIG10, LEM4, ... or all).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated tables only.")
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's figures and claims as tables")
+    Term.(
+      const run $ id $ quick $ seed $ csv
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON."))
+
+(* ---------------- compare ---------------- *)
+
+let compare_cmd =
+  let run protocols n seed serves workload_spec network_spec =
+    let workload =
+      match workload_spec with
+      | None -> Ok (Tokenring.Workload.Global_poisson { mean_interarrival = 10.0 })
+      | Some spec -> Tokenring.Scenario.workload_of_string spec
+    in
+    let network =
+      match network_spec with
+      | None -> Ok Tokenring.Network.default
+      | Some spec -> Tokenring.Scenario.network_of_string spec
+    in
+    match (workload, network) with
+    | Error e, _ | _, Error e ->
+        Format.printf "error: %s@." e;
+        exit 2
+    | Ok workload, Ok network ->
+        let names =
+          if protocols = [] then [ "ring"; "binsearch" ] else protocols
+        in
+        let config =
+          { (Tokenring.Engine.default_config ~n ~seed) with workload; network }
+        in
+        let stop =
+          Tokenring.Engine.First_of
+            [ Tokenring.Engine.After_serves serves;
+              Tokenring.Engine.At_time 5e6 ]
+        in
+        Format.printf "%-22s %10s %10s %10s %12s %12s %8s@." "protocol" "resp"
+          "wait-p50" "wait-p99" "tok-msg/srv" "ctl-msg/srv" "fair";
+        List.iter
+          (fun name ->
+            let o = Tokenring.Runner.run_named name config ~stop in
+            let m = o.Tokenring.Runner.metrics in
+            let serves_f =
+              float_of_int (Stdlib.max 1 (Tokenring.Metrics.serves m))
+            in
+            Format.printf "%-22s %10.2f %10.2f %10.2f %12.1f %12.1f %8.2f@."
+              name
+              (Tokenring.Summary.mean (Tokenring.Metrics.responsiveness m))
+              (Tr_stats.Quantile.median (Tokenring.Metrics.waiting_quantiles m))
+              (Tr_stats.Quantile.p99 (Tokenring.Metrics.waiting_quantiles m))
+              (float_of_int (Tokenring.Metrics.token_messages m) /. serves_f)
+              (float_of_int (Tokenring.Metrics.control_messages m) /. serves_f)
+              (Tokenring.Metrics.waiting_fairness m))
+          names
+  in
+  let protocols =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PROTOCOL"
+          ~doc:"Protocols to compare (default: ring binsearch; 'all' for every one).")
+  in
+  let expand = function
+    | [ "all" ] -> Tokenring.Registry.names
+    | names -> names
+  in
+  let workload_spec =
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"SPEC"
+           ~doc:"Workload spec (see 'run --help').")
+  in
+  let network_spec =
+    Arg.(value & opt (some string) None & info [ "net"; "network" ] ~docv:"SPEC"
+           ~doc:"Network spec (see 'run --help').")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run several protocols on the same scenario and tabulate them")
+    Term.(
+      const run
+      $ (const expand $ protocols)
+      $ nodes $ seed $ serves $ workload_spec $ network_spec)
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let run n max_states =
+    Format.printf "-- prefix property (exhaustive/bounded exploration) --@.";
+    List.iter
+      (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+      (Tokenring.Verify.prefix_checks ~max_states ~ns:[ 2; n ] ());
+    Format.printf "-- refinement chain (simulation check) --@.";
+    List.iter
+      (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+      (Tokenring.Verify.refinement_checks ~max_states:(max_states / 4) ~n ());
+    Format.printf "-- liveness (bounded AG EF + deadlock freedom) --@.";
+    List.iter
+      (fun c -> Format.printf "%a@." Tokenring.Verify.pp_check c)
+      (Tokenring.Verify.liveness_checks ~max_states:(max_states / 2) ~n:2 ())
+  in
+  let n =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Spec instance size.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 5000
+      & info [ "max-states" ] ~docv:"K" ~doc:"State-space exploration bound.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Machine-check the prefix property and the refinement chain")
+    Term.(const run $ n $ max_states)
+
+(* ---------------- spec ---------------- *)
+
+let spec_systems n =
+  [
+    ("S", Tr_specs.System_s.system ~n, Tr_specs.System_s.initial ~n);
+    ("S1", Tr_specs.System_s1.system ~n, Tr_specs.System_s1.initial ~n);
+    ("token", Tr_specs.System_token.system ~n, Tr_specs.System_token.initial ~n);
+    ( "msgpass",
+      Tr_specs.System_msgpass.system ~n,
+      Tr_specs.System_msgpass.initial ~n );
+    ("search", Tr_specs.System_search.system ~n, Tr_specs.System_search.initial ~n);
+    ( "binsearch",
+      Tr_specs.System_binsearch.system ~n,
+      Tr_specs.System_binsearch.initial ~n );
+  ]
+
+let spec_cmd =
+  let run which n budget dot steps =
+    match
+      List.find_opt (fun (name, _, _) -> String.equal name which) (spec_systems n)
+    with
+    | None ->
+        Format.printf "unknown system %S; known: %s@." which
+          (String.concat ", " (List.map (fun (s, _, _) -> s) (spec_systems n)))
+    | Some (name, system, initial) -> (
+        let init = initial ~data_budget:budget in
+        Format.printf "%a@." Tr_trs.System.pp system;
+        Format.printf "initial state:@.  %a@." Tr_trs.Term.pp init;
+        (if steps > 0 then begin
+           Format.printf "@.a fair reduction (%d steps):@." steps;
+           let path =
+             Tr_trs.System.reduce system
+               ~strategy:(Tr_trs.Strategy.round_robin ())
+               ~init ~steps
+           in
+           List.iteri
+             (fun i state ->
+               Format.printf "  %2d: %a@." i Tr_trs.Term.pp state)
+             path
+         end);
+        match dot with
+        | None -> ()
+        | Some path ->
+            let graph =
+              Tr_trs.Explore.to_dot ~max_states:300 system ~init
+            in
+            let oc = open_out path in
+            output_string oc graph;
+            close_out oc;
+            Format.printf "@.wrote %s (%s state graph, <=300 states)@." path name)
+  in
+  let which =
+    Arg.(
+      value & pos 0 string "binsearch"
+      & info [] ~docv:"SYSTEM" ~doc:"S, S1, token, msgpass, search, binsearch.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Instance size.") in
+  let budget =
+    Arg.(value & opt int 1 & info [ "budget" ] ~docv:"B" ~doc:"Per-node datum budget.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the explored state graph as Graphviz.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 0
+      & info [ "reduce" ] ~docv:"K" ~doc:"Show a K-step fair reduction from the initial state.")
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:"Print a system's rewriting rules; optionally reduce or export its state graph")
+    Term.(const run $ which $ n $ budget $ dot $ steps)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let run protocol n seed mean until =
+    let config =
+      {
+        (Tokenring.Engine.default_config ~n ~seed) with
+        workload = Tokenring.Workload.Global_poisson { mean_interarrival = mean };
+        trace = true;
+      }
+    in
+    let outcome =
+      Tokenring.Runner.run_named protocol config
+        ~stop:(Tokenring.Engine.At_time until)
+    in
+    Format.printf "%a@." Tokenring.Trace.pp outcome.Tokenring.Runner.trace
+  in
+  let until =
+    Arg.(
+      value & opt float 50.0
+      & info [ "until" ] ~docv:"T" ~doc:"Virtual time to trace up to.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a full event trace of a short run")
+    Term.(const run $ protocol_arg $ nodes $ seed $ mean $ until)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "tokenring-cli" ~version:"1.0.0"
+      ~doc:"Adaptive token-passing protocols (Englert-Rudolph-Shvartsman 2001)"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd; trace_cmd ]))

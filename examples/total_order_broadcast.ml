@@ -1,0 +1,62 @@
+(* Total-order broadcast on the adaptive token (the paper's group
+   communication motivation, §1.1).
+
+   The token is a roving sequencer: whoever holds it stamps its pending
+   broadcasts with consecutive global sequence numbers. We run 16 nodes
+   under a bursty workload over a network with RANDOMIZED delays and a
+   lossy cheap channel, then check the application-level prefix property:
+   every node's delivery log is a prefix of the global sequence. Search
+   messages get dropped (they are "cheap" hints), yet safety holds — the
+   paper's two-tier message discipline in action.
+
+   Run with: dune exec examples/total_order_broadcast.exe *)
+
+open Tr_sim
+module E = Engine.Make (Tr_apps.Total_order.Impl)
+
+let () =
+  let n = 16 in
+  let network =
+    Network.create
+      ~reliable_delay:(Network.Uniform (0.5, 2.0))
+      ~cheap_delay:(Network.Uniform (0.5, 4.0))
+      ~cheap_drop_probability:0.2 ()
+  in
+  let config =
+    {
+      (Engine.default_config ~n ~seed:7) with
+      network;
+      workload = Workload.Burst { period = 9.0; size = 3 };
+    }
+  in
+  let t = E.create config in
+  E.run t ~stop:(Engine.After_serves 120);
+  (* Drain in-flight broadcasts. *)
+  E.run t ~stop:(Engine.At_time (E.now t +. 50.0));
+
+  let logs =
+    List.init n (fun i -> Tr_apps.Total_order.delivered (E.state t i))
+  in
+  let lengths = List.map List.length logs in
+  let longest = List.fold_left Stdlib.max 0 lengths in
+  let reference =
+    List.find (fun log -> List.length log = longest) logs
+  in
+  let is_prefix a b =
+    let rec go a b =
+      match (a, b) with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: a', y :: b' -> x = y && go a' b'
+    in
+    go a b
+  in
+  let all_prefixes = List.for_all (fun log -> is_prefix log reference) logs in
+  Format.printf "nodes: %d, sequenced broadcasts: %d@." n longest;
+  Format.printf "delivery log lengths: %s@."
+    (String.concat " " (List.map string_of_int lengths));
+  Format.printf "all logs are prefixes of the longest: %b@." all_prefixes;
+  Format.printf
+    "(random delays + 20%% cheap-message loss: ordering still total,@.\
+     because sequencing rides the token, not the network)@.";
+  if not all_prefixes then exit 1

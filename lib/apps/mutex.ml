@@ -1,0 +1,185 @@
+open Tr_sim
+module Traps = Tr_proto.Proto_util.Traps
+
+type msg =
+  | Token of { stamp : int }
+  | Loan of { stamp : int }
+  | Return of { stamp : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+
+(* While inside a critical section the node physically keeps the token
+   ([In_cs]); [return_to] remembers the lender when we entered from a
+   loan. *)
+type holding =
+  | Not_holding
+  | Lent
+  | In_cs of { stamp : int; return_to : int option }
+
+type state = {
+  last_stamp : int;
+  holding : holding;
+  traps : Traps.t;
+}
+
+let in_critical_section state =
+  match state.holding with In_cs _ -> true | Not_holding | Lent -> false
+
+let timer_exit = 1
+
+let classify = function
+  | Token _ | Loan _ | Return _ -> Metrics.Token_msg
+  | Gimme _ -> Metrics.Control_msg
+
+let label = function
+  | Token { stamp } -> Printf.sprintf "token#%d" stamp
+  | Loan { stamp } -> Printf.sprintf "loan#%d" stamp
+  | Return { stamp } -> Printf.sprintf "return#%d" stamp
+  | Gimme { requester; span; stamp } ->
+      Printf.sprintf "gimme(req=%d span=%d stamp=%d)" requester span stamp
+
+let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "mutex"
+
+    let describe =
+      Printf.sprintf
+        "mutual-exclusion service on the BinarySearch token: critical \
+         sections hold the token for %g time units; FIFO trap service"
+        cs_duration
+
+    let classify = classify
+    let label = label
+
+    let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp =
+      match Traps.pop state.traps with
+      | Some (requester, traps) ->
+          if requester = ctx.self then dispatch ctx { state with traps } ~stamp
+          else begin
+            ctx.send ~dst:requester (Loan { stamp });
+            { state with holding = Lent; traps }
+          end
+      | None ->
+          ctx.send
+            ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self)
+            (Token { stamp = stamp + 1 });
+          { state with holding = Not_holding }
+
+    (* Enter the critical section if work is pending; otherwise pass the
+       token along immediately. *)
+    let acquire (ctx : msg Node_intf.ctx) state ~stamp ~return_to =
+      if ctx.pending () > 0 then begin
+        ctx.note (fun () -> "cs-enter");
+        ctx.set_timer ~delay:cs_duration ~key:timer_exit;
+        { state with holding = In_cs { stamp; return_to } }
+      end
+      else
+        match return_to with
+        | Some lender ->
+            ctx.send ~dst:lender (Return { stamp });
+            { state with holding = Not_holding }
+        | None -> dispatch ctx state ~stamp
+
+    let init (ctx : msg Node_intf.ctx) =
+      if ctx.self = 0 then begin
+        ctx.possession ();
+        ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n 0) (Token { stamp = 1 })
+      end;
+      { last_stamp = 0; holding = Not_holding; traps = Traps.empty }
+
+    let on_request (ctx : msg Node_intf.ctx) state =
+      match state.holding with
+      | In_cs _ -> state (* will be picked up when the section exits *)
+      | Lent | Not_holding ->
+          let span = ctx.n / 2 in
+          if span < 1 then state
+          else begin
+            let dst = Node_intf.forward_node ~n:ctx.n ctx.self span in
+            ctx.send ~channel:Network.Cheap ~dst
+              (Gimme { requester = ctx.self; span; stamp = state.last_stamp });
+            state
+          end
+
+    let on_message (ctx : msg Node_intf.ctx) state ~src msg =
+      match msg with
+      | Token { stamp } ->
+          ctx.possession ();
+          acquire ctx { state with last_stamp = stamp } ~stamp ~return_to:None
+      | Loan { stamp } ->
+          ctx.possession ();
+          acquire ctx state ~stamp ~return_to:(Some src)
+      | Return { stamp } ->
+          ctx.possession ();
+          acquire ctx { state with holding = Not_holding } ~stamp ~return_to:None
+      | Gimme { requester; span; stamp } ->
+          if requester = ctx.self then state
+          else begin
+            ctx.search_forward ();
+            let state = { state with traps = Traps.push state.traps requester } in
+            match state.holding with
+            | In_cs _ | Lent -> state (* token is here or on loan; wait *)
+            | Not_holding ->
+                if span >= 2 then begin
+                  let jump = span / 2 in
+                  let dir = if state.last_stamp >= stamp then jump else -jump in
+                  let dst = Node_intf.forward_node ~n:ctx.n ctx.self dir in
+                  ctx.send ~channel:Network.Cheap ~dst
+                    (Gimme { requester; span = jump; stamp })
+                end;
+                state
+          end
+
+    let on_timer (ctx : msg Node_intf.ctx) state ~key =
+      if key <> timer_exit then state
+      else
+        match state.holding with
+        | In_cs { stamp; return_to } ->
+            (* Exit: account one served request per section. *)
+            if ctx.pending () > 0 then ctx.serve ();
+            ctx.note (fun () -> "cs-exit");
+            if ctx.pending () > 0 then
+              (* More local work: re-enter immediately (we still hold). *)
+              acquire ctx state ~stamp ~return_to
+            else begin
+              match return_to with
+              | Some lender ->
+                  ctx.send ~dst:lender (Return { stamp });
+                  { state with holding = Not_holding }
+              | None -> dispatch ctx { state with holding = Not_holding } ~stamp
+            end
+        | Not_holding | Lent -> state
+  end)
+
+let protocol = make ()
+
+let cs_intervals trace =
+  let open Trace in
+  let pending_enter = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc { time; event } ->
+      match event with
+      | Note { node; text } when String.equal text "cs-enter" ->
+          Hashtbl.replace pending_enter node time;
+          acc
+      | Note { node; text } when String.equal text "cs-exit" -> (
+          match Hashtbl.find_opt pending_enter node with
+          | Some enter ->
+              Hashtbl.remove pending_enter node;
+              (node, enter, time) :: acc
+          | None -> acc)
+      | _ -> acc)
+    [] (events trace)
+  |> List.rev
+
+let intervals_overlap intervals =
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) intervals
+  in
+  let rec scan = function
+    | (_, _, exit1) :: ((_, enter2, _) :: _ as rest) ->
+        exit1 > enter2 || scan rest
+    | [ _ ] | [] -> false
+  in
+  scan sorted

@@ -1,0 +1,37 @@
+(** Distributed mutual exclusion with real critical sections.
+
+    The protocols in [Tr_proto] serve requests instantaneously (the
+    paper's zero-cost local events). A mutual-exclusion {e service} holds
+    the resource for a non-zero critical-section duration: the token
+    holder enters its critical section, keeps the token for
+    [cs_duration], then exits and moves on — traps queued meanwhile are
+    honoured in FIFO order afterwards.
+
+    Safety — at most one node inside a critical section at any time — is
+    inherited from token uniqueness; tests reconstruct all CS intervals
+    from the trace ([Note] events ["cs-enter"]/["cs-exit"]) and assert
+    they never overlap, including under randomized message delays. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int }
+  | Loan of { stamp : int }
+  | Return of { stamp : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+
+type state
+
+val make : ?cs_duration:float -> unit -> (module Node_intf.PROTOCOL)
+(** Default [cs_duration] is 2.0 time units per critical section. *)
+
+val protocol : (module Node_intf.PROTOCOL)
+
+val in_critical_section : state -> bool
+
+val cs_intervals : Trace.t -> (int * float * float) list
+(** [(node, enter, exit)] for every completed critical section recorded
+    in the trace, in entry order. *)
+
+val intervals_overlap : (int * float * float) list -> bool
+(** True if any two critical sections intersect — the safety violation. *)

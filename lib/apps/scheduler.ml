@@ -1,0 +1,80 @@
+open Tr_sim
+
+type msg = Token of { stamp : int }
+
+type holding = Not_holding | Working of { stamp : int; quantum_left : int }
+
+type state = { holding : holding; served_this_visit : int }
+
+let served_this_visit state = state.served_this_visit
+
+let timer_slot = 1
+
+let classify (Token _) = Metrics.Token_msg
+let label (Token { stamp }) = Printf.sprintf "token#%d" stamp
+
+let make ?(weight = fun _ -> 1) ?(slot_cost = 0.5) () :
+    (module Node_intf.PROTOCOL) =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "scheduler"
+
+    let describe =
+      Printf.sprintf
+        "weighted round-robin scheduler: one token visit runs up to \
+         weight(x) work items of %g time units each"
+        slot_cost
+
+    let classify = classify
+    let label = label
+
+    let pass_on (ctx : msg Node_intf.ctx) ~stamp =
+      ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self) (Token { stamp = stamp + 1 })
+
+    (* Run work items one slot at a time; each occupies the resource for
+       [slot_cost] before the next starts or the token moves on. *)
+    let continue_or_pass (ctx : msg Node_intf.ctx) state ~stamp ~quantum_left =
+      if quantum_left > 0 && ctx.pending () > 0 then begin
+        ctx.set_timer ~delay:slot_cost ~key:timer_slot;
+        { state with holding = Working { stamp; quantum_left } }
+      end
+      else begin
+        pass_on ctx ~stamp;
+        { state with holding = Not_holding }
+      end
+
+    let init (ctx : msg Node_intf.ctx) =
+      if weight ctx.self <= 0 then
+        invalid_arg
+          (Printf.sprintf "Scheduler: non-positive weight for node %d" ctx.self);
+      if ctx.self = 0 then begin
+        ctx.possession ();
+        ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n 0) (Token { stamp = 1 })
+      end;
+      { holding = Not_holding; served_this_visit = 0 }
+
+    let on_request _ctx state = state
+
+    let on_message (ctx : msg Node_intf.ctx) state ~src:_ (Token { stamp }) =
+      ctx.possession ();
+      continue_or_pass ctx
+        { state with served_this_visit = 0 }
+        ~stamp ~quantum_left:(weight ctx.self)
+
+    let on_timer (ctx : msg Node_intf.ctx) state ~key =
+      if key <> timer_slot then state
+      else
+        match state.holding with
+        | Working { stamp; quantum_left } ->
+            (* The slot that just elapsed completes one work item. *)
+            if ctx.pending () > 0 then ctx.serve ();
+            let state =
+              { state with served_this_visit = state.served_this_visit + 1 }
+            in
+            continue_or_pass ctx state ~stamp ~quantum_left:(quantum_left - 1)
+        | Not_holding -> state
+  end)
+
+let protocol = make ()

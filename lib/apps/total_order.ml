@@ -1,0 +1,186 @@
+open Tr_sim
+module IMap = Map.Make (Int)
+
+type payload = { origin : int; origin_seq : int }
+
+type msg =
+  | Token of { stamp : int; next_seq : int }
+  | Loan of { stamp : int; next_seq : int }
+  | Return of { stamp : int; next_seq : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+  | Bcast of { seq : int; payload : payload }
+
+type holding = Not_holding | Lent
+
+type state = {
+  last_stamp : int;
+  holding : holding;
+  traps : Tr_proto.Proto_util.Traps.t;
+  (* Application state. *)
+  origin_seq : int;  (** Broadcasts this node has originated. *)
+  next_expected : int;  (** Next global sequence number to deliver. *)
+  buffer : payload IMap.t;  (** Early arrivals, keyed by sequence. *)
+  log : payload list;  (** Delivered payloads, newest first. *)
+}
+
+let delivered state = List.rev state.log
+let delivered_count state = List.length state.log
+let buffered_count state = IMap.cardinal state.buffer
+let next_expected_seq state = state.next_expected
+
+let classify = function
+  | Token _ | Loan _ | Return _ -> Metrics.Token_msg
+  | Gimme _ | Bcast _ -> Metrics.Control_msg
+
+let label = function
+  | Token { stamp; next_seq } -> Printf.sprintf "token#%d(seq=%d)" stamp next_seq
+  | Loan { stamp; _ } -> Printf.sprintf "loan#%d" stamp
+  | Return { stamp; _ } -> Printf.sprintf "return#%d" stamp
+  | Gimme { requester; span; _ } ->
+      Printf.sprintf "gimme(req=%d span=%d)" requester span
+  | Bcast { seq; payload } ->
+      Printf.sprintf "bcast(seq=%d from=%d.%d)" seq payload.origin
+        payload.origin_seq
+
+(* Deliver in strict sequence order; anything early waits in the buffer. *)
+let rec deliver state seq payload =
+  if seq < state.next_expected then state (* duplicate: already delivered *)
+  else if seq > state.next_expected then
+    { state with buffer = IMap.add seq payload state.buffer }
+  else
+    let state =
+      {
+        state with
+        log = payload :: state.log;
+        next_expected = state.next_expected + 1;
+      }
+    in
+    match IMap.find_opt state.next_expected state.buffer with
+    | Some next ->
+        deliver
+          { state with buffer = IMap.remove state.next_expected state.buffer }
+          state.next_expected next
+    | None -> state
+
+(* The holder turns every pending request into a sequenced broadcast. The
+   sequencing right is exactly token possession, so numbers are globally
+   unique and gap-free. *)
+let broadcast_pending (ctx : msg Node_intf.ctx) state ~next_seq =
+  let state = ref state and seq = ref next_seq in
+  while ctx.pending () > 0 do
+    ctx.serve ();
+    let payload =
+      { origin = ctx.self; origin_seq = !state.origin_seq + 1 }
+    in
+    state := { !state with origin_seq = payload.origin_seq };
+    (* Application data travels on the reliable channel: losing a
+       sequenced broadcast would stall delivery at every node. Search
+       messages stay cheap — dropping those only costs performance. *)
+    for dst = 0 to ctx.n - 1 do
+      if dst <> ctx.self then ctx.send ~dst (Bcast { seq = !seq; payload })
+    done;
+    state := deliver !state !seq payload;
+    incr seq
+  done;
+  (!state, !seq)
+
+module Impl = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+    let name = "total-order"
+
+    let describe =
+      "Totem-style total-order broadcast: the BinarySearch token carries \
+       the global sequence counter; delivery logs at all nodes are \
+       prefixes of the token-defined order"
+
+    let classify = classify
+    let label = label
+
+    let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp ~next_seq =
+      match Tr_proto.Proto_util.Traps.pop state.traps with
+      | Some (requester, traps) ->
+          if requester = ctx.self then
+            dispatch ctx { state with traps } ~stamp ~next_seq
+          else begin
+            ctx.send ~dst:requester (Loan { stamp; next_seq });
+            { state with holding = Lent; traps }
+          end
+      | None ->
+          ctx.send
+            ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self)
+            (Token { stamp = stamp + 1; next_seq });
+          { state with holding = Not_holding }
+
+    let init (ctx : msg Node_intf.ctx) =
+      let state =
+        {
+          last_stamp = 0;
+          holding = Not_holding;
+          traps = Tr_proto.Proto_util.Traps.empty;
+          origin_seq = 0;
+          next_expected = 1;
+          buffer = IMap.empty;
+          log = [];
+        }
+      in
+      if ctx.self = 0 then begin
+        ctx.possession ();
+        ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n 0) (Token { stamp = 1; next_seq = 1 })
+      end;
+      state
+
+    let on_request (ctx : msg Node_intf.ctx) state =
+      let span = ctx.n / 2 in
+      if span < 1 then state
+      else begin
+        let dst = Node_intf.forward_node ~n:ctx.n ctx.self span in
+        ctx.send ~channel:Network.Cheap ~dst
+          (Gimme { requester = ctx.self; span; stamp = state.last_stamp });
+        state
+      end
+
+    let on_message (ctx : msg Node_intf.ctx) state ~src msg =
+      match msg with
+      | Token { stamp; next_seq } ->
+          ctx.possession ();
+          let state, next_seq =
+            broadcast_pending ctx { state with last_stamp = stamp } ~next_seq
+          in
+          dispatch ctx state ~stamp ~next_seq
+      | Loan { stamp; next_seq } ->
+          ctx.possession ();
+          let state, next_seq = broadcast_pending ctx state ~next_seq in
+          ctx.send ~dst:src (Return { stamp; next_seq });
+          state
+      | Return { stamp; next_seq } ->
+          ctx.possession ();
+          let state, next_seq = broadcast_pending ctx state ~next_seq in
+          dispatch ctx { state with holding = Not_holding } ~stamp ~next_seq
+      | Gimme { requester; span; stamp } ->
+          if requester = ctx.self then state
+          else begin
+            ctx.search_forward ();
+            let state =
+              { state with
+                traps = Tr_proto.Proto_util.Traps.push state.traps requester }
+            in
+            (match state.holding with
+            | Lent -> ()
+            | Not_holding ->
+                if span >= 2 then begin
+                  let jump = span / 2 in
+                  let dir = if state.last_stamp >= stamp then jump else -jump in
+                  let dst = Node_intf.forward_node ~n:ctx.n ctx.self dir in
+                  ctx.send ~channel:Network.Cheap ~dst
+                    (Gimme { requester; span = jump; stamp })
+                end);
+            state
+          end
+      | Bcast { seq; payload } -> deliver state seq payload
+
+  let on_timer _ctx state ~key:_ = state
+end
+
+let protocol : (module Node_intf.PROTOCOL) = (module Impl)

@@ -1,0 +1,93 @@
+module Metrics = Tr_sim.Metrics
+module Summary = Tr_stats.Summary
+module Quantile = Tr_stats.Quantile
+
+let escape_string s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_string s = Printf.sprintf "\"%s\"" (escape_string s)
+
+let json_float f =
+  if Float.is_nan f || not (Float.is_finite f) then "null"
+  else Printf.sprintf "%.9g" f
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let summary_json s =
+  obj
+    [
+      ("count", string_of_int (Summary.count s));
+      ("mean", json_float (Summary.mean s));
+      ("stddev", json_float (Summary.stddev s));
+      ("min", json_float (Summary.min s));
+      ("max", json_float (Summary.max s));
+    ]
+
+let quantiles_json q =
+  obj
+    (List.map
+       (fun (label, p) -> (label, json_float (Quantile.quantile q p)))
+       [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ])
+
+let outcome_to_json (o : Runner.outcome) =
+  let m = o.metrics in
+  obj
+    [
+      ("protocol", json_string o.protocol_name);
+      ("n", string_of_int o.n);
+      ("seed", string_of_int o.seed);
+      ("duration", json_float o.duration);
+      ("serves", string_of_int (Metrics.serves m));
+      ("pending", string_of_int (Metrics.total_pending m));
+      ("responsiveness", summary_json (Metrics.responsiveness m));
+      ("responsiveness_quantiles", quantiles_json (Metrics.responsiveness_quantiles m));
+      ("waiting", summary_json (Metrics.waiting m));
+      ("waiting_quantiles", quantiles_json (Metrics.waiting_quantiles m));
+      ("token_messages", string_of_int (Metrics.token_messages m));
+      ("control_messages", string_of_int (Metrics.control_messages m));
+      ("cheap_channel_messages", string_of_int (Metrics.cheap_messages m));
+      ("search_forwards", string_of_int (Metrics.search_forwards m));
+      ("total_possessions", string_of_int (Metrics.total_possessions m));
+      ("possession_imbalance", json_float (Metrics.possession_imbalance m));
+      ("waiting_fairness", json_float (Metrics.waiting_fairness m));
+    ]
+  ^ "\n"
+
+let series_json s =
+  arr
+    (List.map
+       (fun (x, y) -> arr [ json_float x; json_float y ])
+       (Tr_stats.Series.points s))
+
+let result_to_json (r : Experiments.result) =
+  obj
+    [
+      ("id", json_string r.id);
+      ("title", json_string r.title);
+      ("expectation", json_string r.expectation);
+      ( "series",
+        obj
+          (List.map
+             (fun s -> (Tr_stats.Series.name s, series_json s))
+             r.series) );
+    ]
+  ^ "\n"

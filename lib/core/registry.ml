@@ -1,0 +1,41 @@
+open Tr_sim
+
+type entry = {
+  name : string;
+  describe : string;
+  kind : [ `Baseline | `Paper | `Optimization | `Extension ];
+  protocol : (module Node_intf.PROTOCOL);
+}
+
+let entry kind protocol =
+  let module P = (val protocol : Node_intf.PROTOCOL) in
+  { name = P.name; describe = P.describe; kind; protocol }
+
+let all =
+  [
+    entry `Baseline Tr_proto.Ring.protocol;
+    entry `Baseline Tr_proto.Tree.protocol;
+    entry `Baseline Tr_proto.Suzuki_kasami.protocol;
+    entry `Paper Tr_proto.Seq_search.protocol;
+    entry `Paper Tr_proto.Binsearch.protocol;
+    entry `Optimization Tr_proto.Binsearch.protocol_throttled;
+    entry `Optimization Tr_proto.Directed.protocol;
+    entry `Optimization Tr_proto.Cleanup.protocol_rotation;
+    entry `Optimization Tr_proto.Cleanup.protocol_inverse;
+    entry `Optimization Tr_proto.Adaptive.protocol;
+    entry `Extension Tr_proto.Pushpull.protocol;
+    entry `Extension Tr_proto.Failure.protocol;
+    entry `Extension Tr_proto.Failsafe_search.protocol;
+    entry `Extension Tr_proto.Membership.protocol;
+  ]
+
+let names = List.map (fun e -> e.name) all
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown protocol %S (valid: %s)" name
+           (String.concat ", " names))

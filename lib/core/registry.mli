@@ -1,0 +1,22 @@
+(** Catalogue of every protocol implementation in the library. *)
+
+open Tr_sim
+
+type entry = {
+  name : string;
+  describe : string;
+  kind : [ `Baseline | `Paper | `Optimization | `Extension ];
+  protocol : (module Node_intf.PROTOCOL);
+}
+
+val all : entry list
+(** Stable order: baselines, the paper's systems, §4.4 optimizations,
+    §5 extensions. *)
+
+val names : string list
+
+val find : string -> entry option
+(** Lookup by [name]; [None] for unknown names. *)
+
+val find_exn : string -> entry
+(** @raise Invalid_argument with the list of valid names. *)

@@ -1,0 +1,60 @@
+open Tr_sim
+
+type outcome = {
+  protocol_name : string;
+  n : int;
+  seed : int;
+  duration : float;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+let run (module P : Node_intf.PROTOCOL) (config : Engine.config) ~stop =
+  let module E = Engine.Make (P) in
+  let t = E.create config in
+  E.run t ~stop;
+  {
+    protocol_name = P.name;
+    n = config.n;
+    seed = config.seed;
+    duration = E.now t;
+    metrics = E.metrics t;
+    trace = E.trace t;
+  }
+
+let run_named name config ~stop =
+  let entry = Registry.find_exn name in
+  run entry.protocol config ~stop
+
+type ensemble = {
+  outcomes : outcome list;
+  responsiveness_means : Tr_stats.Summary.t;
+  waiting_means : Tr_stats.Summary.t;
+  token_messages_means : Tr_stats.Summary.t;
+}
+
+let run_many protocol (config : Engine.config) ~seeds ~stop =
+  if seeds = [] then invalid_arg "Runner.run_many: empty seed list";
+  let outcomes =
+    List.map (fun seed -> run protocol { config with seed } ~stop) seeds
+  in
+  let collect f =
+    let s = Tr_stats.Summary.create () in
+    List.iter (fun o -> Tr_stats.Summary.add s (f o)) outcomes;
+    s
+  in
+  {
+    outcomes;
+    responsiveness_means =
+      collect (fun o -> Tr_stats.Summary.mean (Metrics.responsiveness o.metrics));
+    waiting_means =
+      collect (fun o -> Tr_stats.Summary.mean (Metrics.waiting o.metrics));
+    token_messages_means =
+      collect (fun o -> float_of_int (Metrics.token_messages o.metrics));
+  }
+
+let rounds_stop ~n ~rounds = Engine.After_token_messages (rounds * n)
+
+let pp_outcome ppf outcome =
+  Format.fprintf ppf "%s (n=%d, seed=%d, t=%.1f)@\n%a" outcome.protocol_name
+    outcome.n outcome.seed outcome.duration Metrics.report outcome.metrics

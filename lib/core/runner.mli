@@ -1,0 +1,49 @@
+(** One-call simulation runs over any registered protocol. *)
+
+open Tr_sim
+
+type outcome = {
+  protocol_name : string;
+  n : int;
+  seed : int;
+  duration : float;  (** Final virtual time. *)
+  metrics : Metrics.t;
+  trace : Trace.t;  (** Empty unless the config enabled tracing. *)
+}
+
+val run :
+  (module Node_intf.PROTOCOL) ->
+  Engine.config ->
+  stop:Engine.stop ->
+  outcome
+
+val run_named : string -> Engine.config -> stop:Engine.stop -> outcome
+(** Resolve through {!Registry}. @raise Invalid_argument on unknown
+    names. *)
+
+type ensemble = {
+  outcomes : outcome list;
+  responsiveness_means : Tr_stats.Summary.t;
+      (** Distribution of the per-run mean responsiveness across seeds;
+          [Tr_stats.Summary.ci95_halfwidth] gives the error bar. *)
+  waiting_means : Tr_stats.Summary.t;
+  token_messages_means : Tr_stats.Summary.t;
+}
+
+val run_many :
+  (module Node_intf.PROTOCOL) ->
+  Engine.config ->
+  seeds:int list ->
+  stop:Engine.stop ->
+  ensemble
+(** Repeat the run once per seed (overriding [config.seed]) and aggregate
+    the per-run summary statistics — the cheap way to put confidence
+    intervals on any experiment point.
+    @raise Invalid_argument on an empty seed list. *)
+
+val rounds_stop : n:int -> rounds:int -> Engine.stop
+(** The paper's "1000 rounds" termination: stop after [rounds * n]
+    token-class messages, i.e. the token has visited each node [rounds]
+    times on average. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

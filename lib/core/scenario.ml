@@ -1,0 +1,153 @@
+open Tr_sim
+
+let ( let* ) r f = Result.bind r f
+
+let split_head spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, "")
+  | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+
+let args_of text =
+  if String.equal text "" then [] else String.split_on_char ',' text
+
+let parse_float name text =
+  match float_of_string_opt (String.trim text) with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: not a number: %S" name text)
+
+let parse_int name text =
+  match int_of_string_opt (String.trim text) with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" name text)
+
+let arity name expected got =
+  Error
+    (Printf.sprintf "%s expects %d argument(s), got %d" name expected
+       (List.length got))
+
+let workload_of_string spec =
+  let head, rest = split_head (String.trim spec) in
+  let args = args_of rest in
+  match (head, args) with
+  | "nothing", [] -> Ok Workload.Nothing
+  | "poisson", [ mean ] ->
+      let* mean = parse_float "poisson" mean in
+      Ok (Workload.Global_poisson { mean_interarrival = mean })
+  | "pernode", [ mean ] ->
+      let* mean = parse_float "pernode" mean in
+      Ok (Workload.Per_node_poisson { mean_interarrival = mean })
+  | "burst", [ period; size ] ->
+      let* period = parse_float "burst" period in
+      let* size = parse_int "burst" size in
+      Ok (Workload.Burst { period; size })
+  | "hotspot", [ mean; node; bias ] ->
+      let* mean = parse_float "hotspot" mean in
+      let* node = parse_int "hotspot" node in
+      let* bias = parse_float "hotspot" bias in
+      Ok (Workload.Hotspot { mean_interarrival = mean; hot = node; bias })
+  | "continuous", [ node ] ->
+      let* node = parse_int "continuous" node in
+      Ok (Workload.Continuous { node })
+  | ("nothing" | "poisson" | "pernode" | "burst" | "hotspot" | "continuous"), _
+    ->
+      arity head
+        (match head with
+        | "nothing" -> 0
+        | "burst" -> 2
+        | "hotspot" -> 3
+        | _ -> 1)
+        args
+  | other, _ ->
+      Error
+        (Printf.sprintf
+           "unknown workload %S (try poisson:10, pernode:50, burst:25,4, \
+            hotspot:10,3,0.8, continuous:0, nothing)"
+           other)
+
+type net_accum = {
+  delay : Network.delay_model;
+  drop : float;
+  slow : (int * float) list;
+}
+
+let apply_clause acc clause =
+  let head, rest = split_head (String.trim clause) in
+  let args = args_of rest in
+  match (head, args) with
+  | "unit", [] -> Ok { acc with delay = Network.Constant 1.0 }
+  | "const", [ d ] ->
+      let* d = parse_float "const" d in
+      Ok { acc with delay = Network.Constant d }
+  | "uniform", [ lo; hi ] ->
+      let* lo = parse_float "uniform" lo in
+      let* hi = parse_float "uniform" hi in
+      if hi < lo then Error "uniform: HI < LO"
+      else Ok { acc with delay = Network.Uniform (lo, hi) }
+  | "exp", [ mean ] ->
+      let* mean = parse_float "exp" mean in
+      Ok { acc with delay = Network.Exponential mean }
+  | "lossy", [ p ] ->
+      let* p = parse_float "lossy" p in
+      if p < 0.0 || p > 1.0 then Error "lossy: probability outside [0,1]"
+      else Ok { acc with drop = p }
+  | "slow", [ node; factor ] ->
+      let* node = parse_int "slow" node in
+      let* factor = parse_float "slow" factor in
+      Ok { acc with slow = (node, factor) :: acc.slow }
+  | ("unit" | "const" | "uniform" | "exp" | "lossy" | "slow"), _ ->
+      arity head
+        (match head with
+        | "unit" -> 0
+        | "uniform" | "slow" -> 2
+        | _ -> 1)
+        args
+  | other, _ ->
+      Error
+        (Printf.sprintf
+           "unknown network clause %S (try unit, const:2, uniform:0.5,2, \
+            exp:1.5, lossy:0.1, slow:5,8)"
+           other)
+
+let network_of_string spec =
+  let clauses = String.split_on_char '+' (String.trim spec) in
+  let* acc =
+    List.fold_left
+      (fun acc clause ->
+        let* acc = acc in
+        apply_clause acc clause)
+      (Ok { delay = Network.Constant 1.0; drop = 0.0; slow = [] })
+      clauses
+  in
+  let delay =
+    match acc.slow with
+    | [] -> acc.delay
+    | slows ->
+        (* A slow node stretches every delay sampled for its outgoing
+           links. Randomized base models would need the RNG here, so slow
+           composes with deterministic bases only. *)
+        let base =
+          match acc.delay with
+          | Network.Constant d -> d
+          | Network.Uniform (lo, hi) -> (lo +. hi) /. 2.0
+          | Network.Exponential mean -> mean
+          | Network.Per_link _ -> 1.0
+        in
+        Network.Per_link
+          (fun ~src ~dst:_ ->
+            match List.assoc_opt src slows with
+            | Some factor -> base *. factor
+            | None -> base)
+  in
+  Ok
+    (Network.create ~reliable_delay:delay ~cheap_delay:delay
+       ~cheap_drop_probability:acc.drop ())
+
+let workload_examples =
+  [ "poisson:10"; "pernode:50"; "burst:25,4"; "hotspot:10,3,0.8";
+    "continuous:0"; "nothing" ]
+
+let network_examples =
+  [ "unit"; "const:2"; "uniform:0.5,2"; "exp:1.5"; "uniform:0.5,2+lossy:0.1";
+    "const:1+slow:5,8" ]

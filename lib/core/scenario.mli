@@ -1,0 +1,32 @@
+(** Compact textual specs for workloads and networks (CLI surface).
+
+    Workloads:
+    {v
+    nothing                      no requests
+    poisson:MEAN                 global Poisson, uniform requester
+    pernode:MEAN                 independent Poisson per node
+    burst:PERIOD,SIZE            SIZE distinct nodes every PERIOD
+    hotspot:MEAN,NODE,BIAS       biased global Poisson
+    continuous:NODE              re-requests immediately when served
+    v}
+
+    Networks (clauses combined with [+]):
+    {v
+    unit                         constant 1.0 both channels (default)
+    const:D                      constant D both channels
+    uniform:LO,HI                uniform delay both channels
+    exp:MEAN                     exponential delay both channels
+    lossy:P                      cheap-channel drop probability P
+    slow:NODE,FACTOR             all links out of NODE cost FACTOR
+    v}
+
+    Examples: ["poisson:10"], ["burst:25,4"],
+    ["uniform:0.5,2+lossy:0.1"], ["const:1+slow:5,8"]. *)
+
+val workload_of_string : string -> (Tr_sim.Workload.spec, string) result
+val network_of_string : string -> (Tr_sim.Network.t, string) result
+
+val workload_examples : string list
+(** One representative spec per workload kind (for help texts). *)
+
+val network_examples : string list

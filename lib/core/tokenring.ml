@@ -1,0 +1,50 @@
+(** Adaptive token-passing protocols — public API.
+
+    This library reproduces Englert, Rudolph & Shvartsman, {e "Developing
+    and Refining an Adaptive Token-Passing Strategy"} (ICDCS 2001 / MIT
+    CSG Memo 440): a family of token-rotation protocols developed by
+    safety-preserving refinement, culminating in the ring + binary-search
+    protocol with O(log N) responsiveness.
+
+    Typical use:
+    {[
+      let cfg =
+        { (Tokenring.Engine.default_config ~n:100 ~seed:1) with
+          workload = Tokenring.Workload.Global_poisson { mean_interarrival = 10.0 } }
+      in
+      let outcome =
+        Tokenring.Runner.run_named "binsearch" cfg
+          ~stop:(Tokenring.Runner.rounds_stop ~n:100 ~rounds:1000)
+      in
+      Format.printf "%a" Tokenring.Runner.pp_outcome outcome
+    ]}
+
+    Layers:
+    - {!Registry}, {!Runner}, {!Experiments}, {!Verify} — this facade;
+    - [Tr_proto] — the protocol implementations (ring, binsearch, §4.4
+      variants, §5 extensions, Raymond tree);
+    - [Tr_sim] — the deterministic discrete-event simulator;
+    - [Tr_trs] / [Tr_specs] — the term-rewriting framework and the
+      paper's systems S, S1, Token, Message-Passing, Search,
+      BinarySearch, with machine-checked prefix and refinement proofs;
+    - [Tr_stats] — summaries, quantiles, histograms, sweep tables. *)
+
+module Registry = Registry
+module Runner = Runner
+module Experiments = Experiments
+module Verify = Verify
+module Scenario = Scenario
+module Export = Export
+
+(** {1 Re-exported simulation vocabulary}
+
+    Aliases so that straightforward uses need only this module. *)
+
+module Engine = Tr_sim.Engine
+module Workload = Tr_sim.Workload
+module Network = Tr_sim.Network
+module Metrics = Tr_sim.Metrics
+module Trace = Tr_sim.Trace
+module Node_intf = Tr_sim.Node_intf
+module Summary = Tr_stats.Summary
+module Series = Tr_stats.Series

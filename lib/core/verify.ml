@@ -1,0 +1,164 @@
+open Tr_trs
+open Tr_specs
+
+type check = { name : string; states : int; ok : bool; detail : string }
+
+let prefix_one ~max_states ~name system initial checker =
+  let stats, violations =
+    Explore.bfs ~max_states system ~init:initial ~check:checker
+  in
+  {
+    name;
+    states = stats.Explore.states;
+    ok = violations = [];
+    detail =
+      (match violations with
+      | [] ->
+          Printf.sprintf "%d states, %d transitions%s" stats.Explore.states
+            stats.transitions
+            (if stats.truncated then " (bounded)" else " (exhaustive)")
+      | { Explore.message; _ } :: _ ->
+          Printf.sprintf "VIOLATION: %s" message);
+  }
+
+let prefix_checks ?(max_states = 5000) ~ns () =
+  List.concat_map
+    (fun n ->
+      let b = 1 in
+      [
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "S prefix (n=%d)" n)
+          (System_s.system ~n)
+          (System_s.initial ~n ~data_budget:2)
+          Prefix.check_s;
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "S1 prefix (n=%d)" n)
+          (System_s1.system ~n)
+          (System_s1.initial ~n ~data_budget:2)
+          Prefix.check_s1;
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "Token prefix (n=%d)" n)
+          (System_token.system ~n)
+          (System_token.initial ~n ~data_budget:2)
+          Prefix.check_token;
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "Message-Passing prefix (n=%d)" n)
+          (System_msgpass.system ~n)
+          (System_msgpass.initial ~n ~data_budget:b)
+          Prefix.check_msgpass;
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "Search prefix (n=%d)" n)
+          (System_search.system ~n)
+          (System_search.initial ~n ~data_budget:b)
+          Prefix.check_search;
+        prefix_one ~max_states
+          ~name:(Printf.sprintf "BinarySearch prefix (n=%d)" n)
+          (System_binsearch.system ~n)
+          (System_binsearch.initial ~n ~data_budget:b)
+          Prefix.check_binsearch;
+      ])
+    ns
+
+let refinement_one ~max_states ~name ~abstraction ~abstract_system ~concrete
+    ~initial =
+  let edges = Explore.edges ~max_states concrete ~init:initial in
+  let report = Refine.check_simulation ~abstraction ~abstract_system ~edges () in
+  {
+    name;
+    states = report.Refine.edges;
+    ok = Refine.holds report;
+    detail = Format.asprintf "%a" Refine.pp_report report;
+  }
+
+let refinement_checks ?(max_states = 1200) ~n () =
+  [
+    refinement_one ~max_states ~name:"S1 refines S"
+      ~abstraction:System_s1.to_s
+      ~abstract_system:(System_s.system ~n)
+      ~concrete:(System_s1.system ~n)
+      ~initial:(System_s1.initial ~n ~data_budget:2);
+    refinement_one ~max_states ~name:"Token refines S1"
+      ~abstraction:System_token.to_s1
+      ~abstract_system:(System_s1.system ~n)
+      ~concrete:(System_token.system ~n)
+      ~initial:(System_token.initial ~n ~data_budget:2);
+    refinement_one ~max_states ~name:"Message-Passing refines S1"
+      ~abstraction:System_msgpass.to_s1
+      ~abstract_system:(System_s1.system ~n)
+      ~concrete:(System_msgpass.system ~n)
+      ~initial:(System_msgpass.initial ~n ~data_budget:1);
+    refinement_one ~max_states ~name:"Message-Passing (ring 3') refines S1"
+      ~abstraction:System_msgpass.to_s1
+      ~abstract_system:(System_s1.system ~n)
+      ~concrete:(System_msgpass.system_ring ~n)
+      ~initial:(System_msgpass.initial ~n ~data_budget:1);
+    refinement_one ~max_states ~name:"Message-Passing+pass refines S1"
+      ~abstraction:System_msgpass.to_s1
+      ~abstract_system:(System_s1.system ~n)
+      ~concrete:(System_msgpass.system_with_pass ~n)
+      ~initial:(System_msgpass.initial ~n ~data_budget:1);
+    refinement_one ~max_states ~name:"Search refines Message-Passing+pass"
+      ~abstraction:System_search.to_msgpass
+      ~abstract_system:(System_msgpass.system_with_pass ~n)
+      ~concrete:(System_search.system ~n)
+      ~initial:(System_search.initial ~n ~data_budget:1);
+    refinement_one ~max_states ~name:"BinarySearch refines Message-Passing+pass"
+      ~abstraction:System_binsearch.to_msgpass
+      ~abstract_system:(System_msgpass.system_with_pass ~n)
+      ~concrete:(System_binsearch.system ~n)
+      ~initial:(System_binsearch.initial ~n ~data_budget:1);
+  ]
+
+let liveness_checks ?(max_states = 2000) ~n () =
+  let eventually name system initial goal =
+    let report = Explore.eventually ~max_states ~goal system ~init:initial in
+    {
+      name;
+      states = report.Explore.explored;
+      ok = report.Explore.cannot_reach = [];
+      detail =
+        (match report.Explore.cannot_reach with
+        | [] ->
+            Printf.sprintf "%d states: %d reach the goal, %d undecided (frontier)"
+              report.explored report.can_reach report.undecided
+        | state :: _ ->
+            Printf.sprintf "LIVELOCK from %s" (Term.to_string state));
+    }
+  in
+  let no_deadlock name system initial =
+    let stuck = Explore.deadlocks ~max_states system ~init:initial in
+    {
+      name;
+      states = max_states;
+      ok = stuck = [];
+      detail =
+        (match stuck with
+        | [] -> "no reachable normal forms"
+        | state :: _ -> Printf.sprintf "DEADLOCK at %s" (Term.to_string state));
+    }
+  in
+  [
+    eventually "Token: node 1 eventually holds (AG EF)"
+      (System_token.system ~n)
+      (System_token.initial ~n ~data_budget:1)
+      (fun s -> System_token.holder s = 1);
+    eventually "Message-Passing ring: node 1 eventually holds (AG EF)"
+      (System_msgpass.system_ring ~n)
+      (System_msgpass.initial ~n ~data_budget:1)
+      (fun s -> System_msgpass.holder s = Some 1);
+    eventually "BinarySearch: node 1 eventually holds (AG EF)"
+      (System_binsearch.system ~n)
+      (System_binsearch.initial ~n ~data_budget:1)
+      (fun s -> System_binsearch.holder s = Some 1);
+    no_deadlock "Token: deadlock freedom" (System_token.system ~n)
+      (System_token.initial ~n ~data_budget:1);
+    no_deadlock "Message-Passing: deadlock freedom" (System_msgpass.system ~n)
+      (System_msgpass.initial ~n ~data_budget:1);
+    no_deadlock "BinarySearch: deadlock freedom" (System_binsearch.system ~n)
+      (System_binsearch.initial ~n ~data_budget:1);
+  ]
+
+let pp_check ppf c =
+  Format.fprintf ppf "[%s] %-45s %s"
+    (if c.ok then "ok" else "FAIL")
+    c.name c.detail

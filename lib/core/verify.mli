@@ -1,0 +1,27 @@
+(** The formal side of the reproduction, packaged for CLI/bench use:
+    exhaustive safety checks and refinement checks over the TRS
+    specifications of §3–§4, on bounded instances. *)
+
+type check = {
+  name : string;
+  states : int;  (** States explored / concrete edges checked. *)
+  ok : bool;
+  detail : string;
+}
+
+val prefix_checks : ?max_states:int -> ns:int list -> unit -> check list
+(** Explore every system ({!Tr_specs.System_s} … {!System_binsearch}) for
+    each ring size and report prefix-property (and token-uniqueness)
+    violations. *)
+
+val refinement_checks : ?max_states:int -> n:int -> unit -> check list
+(** Machine-check the paper's refinement chain:
+    S1→S, Token→S1, Message-Passing→S1 (plain, ring, with-pass),
+    Search→MP+pass, BinarySearch→MP+pass. *)
+
+val liveness_checks : ?max_states:int -> n:int -> unit -> check list
+(** Bounded liveness: no reachable deadlocks, and "node 1 can always
+    still obtain the token" (AG EF) for Token, the ring Message-Passing
+    variant, and BinarySearch. *)
+
+val pp_check : Format.formatter -> check -> unit

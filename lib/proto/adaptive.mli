@@ -1,0 +1,35 @@
+(** Demand-adaptive token speed (§4.4's last optimization).
+
+    "The speed of token passing around the cycle can be varied according
+    to the demand — very slow when only a few nodes require the token and
+    much faster when there is high demand."
+
+    The token carries an idle-hop counter. While demand is visible
+    (someone was served recently, or the holder has traps or local
+    requests) the token moves at full speed — one hop per time unit,
+    exactly like {!Binsearch}. Once the counter shows a full demand-free
+    revolution, the holder parks the token for [idle_delay] before the
+    next hop, cutting idle token traffic by that factor. Any demand signal
+    reaching the parked holder — a local request, a gimme laying a trap —
+    releases the token immediately, so responsiveness under load is
+    unchanged while idle message cost drops. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int; idle_hops : int }
+  | Loan of { stamp : int }
+  | Return of { stamp : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+
+type state
+
+val make :
+  ?idle_delay:float ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** Default [idle_delay] is 8.0 time units per hop once idle. The package
+    keeps [state] visible for introspection. *)
+
+val protocol : (module Node_intf.PROTOCOL)
+val is_parked : state -> bool

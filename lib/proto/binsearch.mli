@@ -1,0 +1,56 @@
+(** System BinarySearch, executable (paper §4.2, Figure 7).
+
+    The token circulates around the ring exactly as in {!Ring}. When a
+    node becomes ready it launches a "gimme" search: a cheap message sent
+    halfway across the ring carrying the requester's view of the token's
+    circulation. Every node the search visits lays a local {e trap} for
+    the requester and forwards the search half the remaining span,
+    clockwise or counter-clockwise depending on whether the token passed
+    it before or after passing the requester — the paper's [⊂_C] history
+    comparison, realized here by the hop-stamp order (§4.4's round-counter
+    bounding of histories: the stamp a node recorded at the token's last
+    rotation visit {e is} its history projected onto circulation events).
+
+    A token holder whose trap queue is non-empty {e lends} the token to
+    the trapped requester (the paper's decorated ŷ); the borrower serves
+    its requests and returns it; rotation resumes where it was
+    intercepted. Traps are served in FIFO order, as Theorem 2 requires.
+
+    Responsiveness is O(log N) under all loads (Theorem 2); each search is
+    forwarded O(log N) times (Lemma 6); fairness is log N (Theorem 3). *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int }  (** Rotation hop (expensive channel). *)
+  | Loan of { stamp : int }  (** Token lent to a trapped requester. *)
+  | Return of { stamp : int }  (** Loan coming back to the lender. *)
+  | Gimme of { requester : int; span : int; stamp : int }
+      (** Search: remaining span and the requester's last-visit stamp
+          (cheap channel). *)
+
+type state
+
+val make :
+  ?throttle:bool ->
+  ?name:string ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** [throttle] (default [false]) enables §4.4's single-outstanding-request
+    optimization: a node with a search already in flight does not launch
+    another on a new local request. The package keeps [state] visible so
+    tests can use the introspection functions below. *)
+
+val protocol : (module Node_intf.PROTOCOL)
+(** The base protocol, [make ()], named ["binsearch"]. *)
+
+val protocol_throttled : (module Node_intf.PROTOCOL)
+(** [make ~throttle:true ()], named ["binsearch-throttle"]. *)
+
+(** {1 Introspection (tests)} *)
+
+val trap_queue : state -> int list
+(** Trapped requesters in FIFO order. *)
+
+val last_stamp : state -> int
+val is_searching : state -> bool

@@ -1,0 +1,37 @@
+(** Trap garbage collection (§4.4).
+
+    The delegated search leaves O(log N) traps per request strewn around
+    the ring; once the request is served they are garbage and cause
+    useless token loans. The paper sketches two collectors, both
+    implemented here over the BinarySearch base:
+
+    {b Token-rotation cleanup} ([protocol_rotation]). Requests carry a
+    per-requester sequence number; the token carries a vector of the
+    highest sequence number it knows to be satisfied for each node
+    (refreshed at every visit and by every loan return). As the token
+    rotates, each holder discards traps whose (requester, seq) the vector
+    already covers.
+
+    {b Inverse-token cleanup} ([protocol_inverse]). Search messages record
+    their trail; when a trapped holder serves a request, the loan retraces
+    the trail backwards, erasing that request's traps en route to the
+    requester — trading a few extra loan hops for eager cleanup. *)
+
+open Tr_sim
+
+type rotation_msg =
+  | RToken of { stamp : int; satisfied : int array }
+  | RLoan of { stamp : int; satisfied : int array }
+  | RReturn of { stamp : int; satisfied : int array }
+  | RGimme of { requester : int; seq : int; span : int; stamp : int }
+
+type inverse_msg =
+  | IToken of { stamp : int }
+  | ILoanVia of { stamp : int; requester : int; trail : int list }
+      (** Token travelling backwards along the search trail toward
+          [requester], erasing traps at every hop. *)
+  | IReturn of { stamp : int }
+  | IGimme of { requester : int; span : int; stamp : int; trail : int list }
+
+val protocol_rotation : (module Node_intf.PROTOCOL)
+val protocol_inverse : (module Node_intf.PROTOCOL)

@@ -1,0 +1,50 @@
+(** Fail-safe BinarySearch — §5's observation made executable:
+    "by combining token traversal with searching, the protocol already
+    has a way of handling failures. If a node x with the token fails,
+    then nothing will happen until some other node y needs the token, at
+    which point it will quickly discover that the token holder has
+    failed."
+
+    The full BinarySearch machinery (rotation + gimme searches + traps +
+    loans) hardened against fail-stop crashes:
+
+    - rotation hops are acknowledged; a missing [Ack] marks the successor
+      dead and re-sends past it, so non-holder crashes never lose the
+      token;
+    - holders keep the token for a short hold window (as in
+      {!Failure}), so a holder crash genuinely loses it;
+    - a lender whose loan never comes back concludes the borrower died
+      mid-service and reissues the token locally (it knows the token
+      cannot be anywhere else);
+    - a {e requester} whose search goes unanswered for the watch timeout
+      — exactly the paper's trigger — polls the survivors ([WhoHas]),
+      picks the best witness, and has it regenerate a higher-generation
+      token; stale tokens are discarded on arrival.
+
+    Crashes of search-path nodes need no machinery at all: a lost gimme
+    only loses a hint, and the rotating token still serves the request —
+    the two-tier message discipline paying off once more. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { gen : int; stamp : int }
+  | Ack of { gen : int; stamp : int }
+  | Loan of { gen : int; stamp : int }
+  | Return of { gen : int; stamp : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+  | WhoHas of { initiator : int }
+  | Status of { gen : int; stamp : int }
+  | Regenerate of { gen : int }
+
+type state
+
+val make :
+  ?timeout:float ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** [timeout] is the requester's token-loss watch (default [3n]). *)
+
+val protocol : (module Node_intf.PROTOCOL)
+
+val generation : state -> int

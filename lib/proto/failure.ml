@@ -1,0 +1,234 @@
+open Tr_sim
+module ISet = Set.Make (Int)
+
+type msg =
+  | Token of { gen : int; stamp : int }
+  | Ack of { gen : int; stamp : int }
+  | WhoHas of { initiator : int }
+  | Status of { stamp : int; gen : int }
+  | Regenerate of { gen : int }
+
+type state = {
+  gen : int;  (** Highest token generation witnessed. *)
+  last_stamp : int;
+  last_seen : float;  (** When the token last visited us. *)
+  dead : ISet.t;  (** Locally suspected-dead successors. *)
+  awaiting_ack : (int * int * int) option;  (** (gen, stamp, dst). *)
+  held : (int * int) option;  (** (gen, stamp) while holding the token. *)
+  recovering : bool;
+  best_status : (int * int * int) option;  (** (gen, stamp, node). *)
+}
+
+let generation state = state.gen
+
+let timer_ack = 1
+let timer_watch = 2
+let timer_collect = 3
+let timer_pass = 4
+
+let ack_wait = 3.0
+let collect_window = 3.0
+
+let classify = function
+  | Token _ -> Metrics.Token_msg
+  | Ack _ | WhoHas _ | Status _ | Regenerate _ -> Metrics.Control_msg
+
+let label = function
+  | Token { gen; stamp } -> Printf.sprintf "token(g%d,#%d)" gen stamp
+  | Ack { gen; stamp } -> Printf.sprintf "ack(g%d,#%d)" gen stamp
+  | WhoHas { initiator } -> Printf.sprintf "whohas(from=%d)" initiator
+  | Status { stamp; gen } -> Printf.sprintf "status(g%d,#%d)" gen stamp
+  | Regenerate { gen } -> Printf.sprintf "regenerate(g%d)" gen
+
+let make ?timeout () :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "ring-failsafe"
+
+    let describe =
+      "ring rotation with fail-stop tolerance (§5): acknowledged hops \
+       skip dead successors; a timed-out requester locates the last \
+       witness and regenerates the token with a higher generation"
+
+    let classify = classify
+    let label = label
+
+    let watch_timeout (ctx : msg Node_intf.ctx) =
+      match timeout with Some t -> t | None -> 3.0 *. float_of_int ctx.n
+
+    (* How long a holder keeps the token before passing it on. A non-zero
+       hold is what makes holder crashes actually lose the token — with
+       atomic receive-and-forward the acknowledged hops alone would make
+       loss impossible and §5's recovery path dead code. *)
+    let hold_time = 0.5
+
+    let next_alive (ctx : msg Node_intf.ctx) state =
+      let rec scan candidate remaining =
+        if remaining = 0 then ctx.self
+        else if candidate = ctx.self then ctx.self
+        else if ISet.mem candidate state.dead then
+          scan (Node_intf.succ_node ~n:ctx.n candidate) (remaining - 1)
+        else candidate
+      in
+      scan (Node_intf.succ_node ~n:ctx.n ctx.self) ctx.n
+
+    let send_token (ctx : msg Node_intf.ctx) state ~gen ~stamp =
+      let dst = next_alive ctx state in
+      if dst = ctx.self then
+        (* Everyone else looks dead: keep the token parked here. *)
+        { state with held = Some (gen, stamp); awaiting_ack = None }
+      else begin
+        ctx.send ~dst (Token { gen; stamp });
+        ctx.set_timer ~delay:ack_wait ~key:timer_ack;
+        { state with awaiting_ack = Some (gen, stamp, dst); held = None }
+      end
+
+    let init (ctx : msg Node_intf.ctx) =
+      let state =
+        {
+          gen = 1;
+          last_stamp = 0;
+          last_seen = 0.0;
+          dead = ISet.empty;
+          awaiting_ack = None;
+          held = None;
+          recovering = false;
+          best_status = None;
+        }
+      in
+      if ctx.self = 0 then begin
+        ctx.possession ();
+        send_token ctx state ~gen:1 ~stamp:1
+      end
+      else state
+
+    let on_request (ctx : msg Node_intf.ctx) state =
+      (match state.held with
+      | Some _ -> Proto_util.serve_all ctx
+      | None ->
+          (* Watch for token loss while we wait. *)
+          ctx.set_timer ~delay:(watch_timeout ctx) ~key:timer_watch);
+      state
+
+    let on_message (ctx : msg Node_intf.ctx) state ~src msg =
+      match msg with
+      | Token { gen; stamp } ->
+          if gen < state.gen then state (* stale generation: discard *)
+          else begin
+            ctx.send ~channel:Network.Cheap ~dst:src (Ack { gen; stamp });
+            ctx.possession ();
+            Proto_util.serve_all ctx;
+            ctx.set_timer ~delay:hold_time ~key:timer_pass;
+            {
+              state with
+              gen;
+              last_stamp = stamp;
+              last_seen = ctx.now ();
+              held = Some (gen, stamp);
+              recovering = false;
+            }
+          end
+      | Ack { gen; stamp } -> (
+          match state.awaiting_ack with
+          | Some (g, s, _) when g = gen && s = stamp ->
+              ctx.cancel_timers ~key:timer_ack;
+              { state with awaiting_ack = None }
+          | Some _ | None -> state)
+      | WhoHas { initiator } ->
+          ctx.send ~channel:Network.Cheap ~dst:initiator
+            (Status { stamp = state.last_stamp; gen = state.gen });
+          state
+      | Status { stamp; gen } ->
+          if not state.recovering then state
+          else begin
+            let better =
+              match state.best_status with
+              | None -> true
+              | Some (bg, bs, _) -> gen > bg || (gen = bg && stamp > bs)
+            in
+            if better then { state with best_status = Some (gen, stamp, src) }
+            else state
+          end
+      | Regenerate { gen } ->
+          if gen <= state.gen then state (* someone already regenerated *)
+          else begin
+            ctx.possession ();
+            ctx.note (fun () -> Printf.sprintf "regenerating token g%d" gen);
+            Proto_util.serve_all ctx;
+            send_token ctx
+              { state with gen; recovering = false }
+              ~gen ~stamp:(state.last_stamp + 1)
+          end
+
+    let on_timer (ctx : msg Node_intf.ctx) state ~key =
+      if key = timer_pass then
+        match state.held with
+        | Some (gen, stamp) ->
+            Proto_util.serve_all ctx;
+            send_token ctx state ~gen ~stamp:(stamp + 1)
+        | None -> state
+      else if key = timer_ack then
+        match state.awaiting_ack with
+        | Some (gen, stamp, dst) ->
+            (* No Ack: the successor is dead; skip it and re-send. *)
+            ctx.note (fun () -> Printf.sprintf "suspecting node %d" dst);
+            send_token ctx
+              { state with dead = ISet.add dst state.dead; awaiting_ack = None }
+              ~gen ~stamp
+        | None -> state
+      else if key = timer_watch then begin
+        if
+          ctx.pending () > 0
+          && (not state.recovering)
+          && state.held = None
+          && ctx.now () -. state.last_seen >= watch_timeout ctx
+        then begin
+          (* Token presumed lost: poll every node for its last sighting. *)
+          ctx.note (fun () -> "token loss suspected; broadcasting WhoHas");
+          for dst = 0 to ctx.n - 1 do
+            if dst <> ctx.self then
+              ctx.send ~channel:Network.Cheap ~dst
+                (WhoHas { initiator = ctx.self })
+          done;
+          ctx.set_timer ~delay:collect_window ~key:timer_collect;
+          {
+            state with
+            recovering = true;
+            best_status = Some (state.gen, state.last_stamp, ctx.self);
+          }
+        end
+        else state
+      end
+      else if key = timer_collect then begin
+        if not state.recovering then state
+        else if ctx.pending () = 0 then { state with recovering = false }
+        else begin
+          match state.best_status with
+          | None -> { state with recovering = false }
+          | Some (gen, stamp, witness) ->
+              let new_gen = gen + 1 in
+              (* Re-arm the watch in case this recovery also fails. *)
+              ctx.set_timer ~delay:(watch_timeout ctx) ~key:timer_watch;
+              if witness = ctx.self then begin
+                ctx.possession ();
+                ctx.note (fun () ->
+                    Printf.sprintf "regenerating token g%d locally" new_gen);
+                Proto_util.serve_all ctx;
+                send_token ctx
+                  { state with gen = new_gen; recovering = false;
+                    best_status = None }
+                  ~gen:new_gen ~stamp:(stamp + 1)
+              end
+              else begin
+                ctx.send ~dst:witness (Regenerate { gen = new_gen });
+                { state with recovering = false; best_status = None }
+              end
+        end
+      end
+      else state
+  end)
+
+let protocol : (module Node_intf.PROTOCOL) = (module (val make ()))

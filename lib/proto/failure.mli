@@ -1,0 +1,49 @@
+(** Failure handling — the §5 extension, made executable.
+
+    The paper observes that combining token traversal with searching
+    already yields a failure-handling path: "if a node x with the token
+    fails, then nothing will happen until some other node y needs the
+    token, at which point it will quickly discover that the token holder
+    has failed (provided a time-out based detection is available)... they
+    can then determine if x is really dead and if the token was at x. If
+    so, they can generate a new token."
+
+    This protocol is the ring baseline hardened against fail-stop crashes:
+
+    - {b Hop acknowledgements}: every token hop expects an [Ack]; a
+      missing Ack makes the sender skip the dead successor and re-send,
+      so crashes of {e non-holders} never lose the token.
+    - {b Loss detection}: a ready node that has not seen the token for
+      [timeout] time units broadcasts [WhoHas]; live nodes answer
+      [Status] with the highest hop stamp they witnessed.
+    - {b Regeneration}: the initiator asks the live node with the highest
+      stamp — the last node the token visited before vanishing — to mint
+      a new token with an incremented {e generation}. Stale tokens (lower
+      generation) are discarded on arrival, so a regeneration race cannot
+      leave two live tokens circulating.
+
+    Crashes are injected through {!Tr_sim.Engine.config}'s [crashes]. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { gen : int; stamp : int }
+  | Ack of { gen : int; stamp : int }
+  | WhoHas of { initiator : int }
+  | Status of { stamp : int; gen : int }
+  | Regenerate of { gen : int }
+
+type state
+
+val make :
+  ?timeout:float ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** [timeout] defaults to [3n] time units, scaling with the ring size.
+    The returned package keeps [state] visible for introspection. *)
+
+val protocol : (module Node_intf.PROTOCOL)
+(** [make ()], type-erased for the registry. *)
+
+val generation : state -> int
+(** Highest token generation this node has witnessed (tests). *)

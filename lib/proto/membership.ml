@@ -1,0 +1,183 @@
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int; pred : int; bypass : int option }
+  | JoinReq of { joiner : int }
+  | Welcome of { succ : int }
+  | Relink of { leaver : int; new_succ : int }
+
+type state = {
+  member : bool;
+  succ : int option;
+      (** Successor pointer. Kept after leaving so a departed node can
+          still forward a stray token ("ghost forwarding"), which makes
+          the predecessor's re-pointing race-free. *)
+  pred : int option;  (** Learned from each token arrival. *)
+  join_queue : int list;  (** Contact only: joiners awaiting a splice. *)
+  leaving : bool;
+}
+
+let is_member state = state.member
+let successor state = if state.member then state.succ else None
+
+let timer_join_trigger = 1
+let timer_join_retry = 2
+let timer_leave_trigger = 3
+
+let join_retry_period = 25.0
+
+let classify = function
+  | Token _ -> Metrics.Token_msg
+  | JoinReq _ | Welcome _ | Relink _ -> Metrics.Control_msg
+
+let label = function
+  | Token { stamp; pred; bypass } ->
+      Printf.sprintf "token#%d(pred=%d%s)" stamp pred
+        (match bypass with Some b -> Printf.sprintf " bypass=%d" b | None -> "")
+  | JoinReq { joiner } -> Printf.sprintf "join-req(%d)" joiner
+  | Welcome { succ } -> Printf.sprintf "welcome(succ=%d)" succ
+  | Relink { leaver; new_succ } ->
+      Printf.sprintf "relink(drop=%d succ=%d)" leaver new_succ
+
+let make ?initial_members ?(contact = 0) ?(joins = []) ?(leaves = []) () :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "ring-membership"
+
+    let describe =
+      "ring rotation with asynchronous join/leave (§5): token-ordered \
+       splices keep reconfiguration race-free"
+
+    let classify = classify
+    let label = label
+
+    let members_at_start (ctx : msg Node_intf.ctx) =
+      match initial_members with
+      | None -> ctx.n
+      | Some m ->
+          if m < 1 || m > ctx.n then
+            invalid_arg "Membership: initial_members outside [1, n]";
+          m
+
+    let init (ctx : msg Node_intf.ctx) =
+      let m = members_at_start ctx in
+      if contact >= m then
+        invalid_arg "Membership: the contact must be an initial member";
+      if List.exists (fun (node, _) -> node = contact) leaves then
+        invalid_arg "Membership: the contact cannot leave";
+      if List.exists (fun (node, _) -> node < m) joins then
+        invalid_arg "Membership: initial members cannot join again";
+      List.iter
+        (fun (node, at) ->
+          if node = ctx.self then ctx.set_timer ~delay:at ~key:timer_join_trigger)
+        joins;
+      List.iter
+        (fun (node, at) ->
+          if node = ctx.self then ctx.set_timer ~delay:at ~key:timer_leave_trigger)
+        leaves;
+      let member = ctx.self < m in
+      let succ = if member then Some ((ctx.self + 1) mod m) else None in
+      if ctx.self = 0 && member then begin
+        ctx.possession ();
+        ctx.send ~dst:(Option.get succ) (Token { stamp = 1; pred = 0; bypass = None })
+      end;
+      { member; succ; pred = None; join_queue = []; leaving = false }
+
+    (* The holder's exit actions, in priority order: leave if asked,
+       splice one joiner if we are the contact, else plain rotation. *)
+    let relinquish (ctx : msg Node_intf.ctx) state ~stamp =
+      let next = Option.value state.succ ~default:ctx.self in
+      if state.leaving && next <> ctx.self then begin
+        (* Hand the token on and ask our predecessor to bypass us. *)
+        (match state.pred with
+        | Some p when p <> ctx.self ->
+            ctx.send ~channel:Network.Cheap ~dst:p
+              (Relink { leaver = ctx.self; new_succ = next })
+        | Some _ | None -> ());
+        ctx.send ~dst:next
+          (Token { stamp = stamp + 1; pred = ctx.self; bypass = Some ctx.self });
+        ctx.note (fun () -> "left the ring");
+        { state with member = false; leaving = false }
+      end
+      else
+        match state.join_queue with
+        | joiner :: rest when ctx.self = contact ->
+            (* Splice the joiner between us and our successor, then push
+               the token through it so it starts participating at once. *)
+            let old_succ = next in
+            ctx.send ~channel:Network.Cheap ~dst:joiner (Welcome { succ = old_succ });
+            ctx.send ~dst:joiner
+              (Token { stamp = stamp + 1; pred = ctx.self; bypass = None });
+            ctx.note (fun () -> Printf.sprintf "spliced node %d" joiner);
+            { state with succ = Some joiner; join_queue = rest }
+        | _ :: _ | [] ->
+            ctx.send ~dst:next
+              (Token { stamp = stamp + 1; pred = ctx.self; bypass = None });
+            state
+
+    let on_request _ctx state = state
+    (* Members are served by the rotation; a non-member's request waits
+       until its scheduled join completes. *)
+
+    let on_message (ctx : msg Node_intf.ctx) state ~src msg =
+      match msg with
+      | Token { stamp; pred; bypass } ->
+          if not state.member then begin
+            (* Ghost forwarding: a token that reaches a departed node is
+               passed straight to where it would have gone. *)
+            match state.succ with
+            | Some next when next <> ctx.self ->
+                ctx.send ~dst:next (Token { stamp; pred; bypass });
+                state
+            | Some _ | None ->
+                (* A never-member got the token: return it to the contact. *)
+                ctx.send ~dst:contact (Token { stamp; pred; bypass });
+                state
+          end
+          else begin
+            ctx.possession ();
+            Proto_util.serve_all ctx;
+            let state =
+              match bypass with
+              | Some leaver when state.succ = Some leaver ->
+                  (* We were the leaver's predecessor and the token beat
+                     the Relink here: adopt the new successor now. *)
+                  { state with succ = Some src; pred = Some pred }
+              | Some _ | None -> { state with pred = Some pred }
+            in
+            relinquish ctx state ~stamp
+          end
+      | JoinReq { joiner } ->
+          if ctx.self <> contact then state
+          else if List.mem joiner state.join_queue then state
+          else begin
+            ctx.note (fun () -> Printf.sprintf "queued joiner %d" joiner);
+            { state with join_queue = state.join_queue @ [ joiner ] }
+          end
+      | Welcome { succ } ->
+          ctx.cancel_timers ~key:timer_join_retry;
+          ctx.note (fun () -> "joined the ring");
+          { state with member = true; succ = Some succ }
+      | Relink { leaver; new_succ } ->
+          if state.succ = Some leaver then { state with succ = Some new_succ }
+          else state
+
+    let on_timer (ctx : msg Node_intf.ctx) state ~key =
+      if key = timer_join_trigger || key = timer_join_retry then begin
+        if state.member then state
+        else begin
+          ctx.send ~channel:Network.Cheap ~dst:contact
+            (JoinReq { joiner = ctx.self });
+          ctx.set_timer ~delay:join_retry_period ~key:timer_join_retry;
+          state
+        end
+      end
+      else if key = timer_leave_trigger then
+        if state.member then { state with leaving = true } else state
+      else state
+  end)
+
+let protocol : (module Node_intf.PROTOCOL) = (module (val make ()))

@@ -1,0 +1,67 @@
+(** Dynamic ring membership — the §5 future-work extension.
+
+    "Our future plans include making the protocols more dynamic with
+    respect to the nodes comprising the network. It is possible to modify
+    the protocol to handle nodes that asynchronously leave and join the
+    group."
+
+    The logical ring is maintained by per-node successor pointers over
+    the (fixed) set of simulator nodes; only {e members} participate.
+    Reconfiguration is {b token-ordered} — the classic trick that makes
+    membership changes trivially safe: splices happen only at the node
+    that currently holds the token, so no two reconfigurations race and
+    the token can never be in the severed part of the ring.
+
+    - {b Join}: a dormant node sends [JoinReq] (cheap, retried on a
+      timer) to its {e contact} (node 0 by default). The contact queues
+      it; when the contact next holds the token it splices the newcomer
+      between itself and its successor and transfers the token through
+      it, which both installs the pointers and initializes the
+      newcomer's view.
+    - {b Leave}: a member leaves when it holds the token: it hands the
+      token to its successor together with a [Splice] notice that the
+      predecessor — which the token tracks as it moves — must bypass it.
+
+    Requests at members are served by the rotating token exactly as in
+    {!Ring}; requests at non-members wait until the node has joined.
+
+    Schedules are given per node at construction ([joins]/[leaves] as
+    virtual times); initial members are [0 .. initial_members - 1]. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int; pred : int; bypass : int option }
+      (** [pred] is the node the token just left; [bypass] asks the
+          receiver to drop [pred]'s predecessor-ship in favour of the
+          leaving node's predecessor. *)
+  | JoinReq of { joiner : int }
+  | Welcome of { succ : int }
+      (** Sent by the contact when splicing: "you are now a member; your
+          successor is [succ]; the token follows." *)
+  | Relink of { leaver : int; new_succ : int }
+      (** Sent by a leaver to its predecessor: bypass me. Departed nodes
+          also ghost-forward any stray token, so a late [Relink] is
+          harmless. *)
+
+type state
+
+val make :
+  ?initial_members:int ->
+  ?contact:int ->
+  ?joins:(int * float) list ->
+  ?leaves:(int * float) list ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** [initial_members] defaults to the full ring (making this behave as
+    {!Ring}); [joins]/[leaves] map node ids to the virtual time they ask
+    to join/leave. @raise Invalid_argument at [init] on inconsistent
+    schedules (joining an initial member, contact not a member, ...). *)
+
+val protocol : (module Node_intf.PROTOCOL)
+
+(** {1 Introspection} *)
+
+val is_member : state -> bool
+val successor : state -> int option
+(** The node's current successor pointer, when a member. *)

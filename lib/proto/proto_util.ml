@@ -1,0 +1,28 @@
+open Tr_sim
+module ISet = Set.Make (Int)
+
+let serve_all (ctx : 'msg Node_intf.ctx) =
+  while ctx.pending () > 0 do
+    ctx.serve ()
+  done
+
+module Traps = struct
+  type t = { fifo : int list; members : ISet.t }
+
+  let empty = { fifo = []; members = ISet.empty }
+  let is_empty t = t.fifo = []
+  let mem t requester = ISet.mem requester t.members
+
+  let push t requester =
+    if mem t requester then t
+    else { fifo = t.fifo @ [ requester ]; members = ISet.add requester t.members }
+
+  let pop t =
+    match t.fifo with
+    | [] -> None
+    | requester :: rest ->
+        Some (requester, { fifo = rest; members = ISet.remove requester t.members })
+
+  let to_list t = t.fifo
+  let size t = List.length t.fifo
+end

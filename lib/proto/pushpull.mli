@@ -1,0 +1,42 @@
+(** Push–pull duality (§1, end of §4.2): "when a node requires the token,
+    it can either actively try to find the token or the owner of a token
+    can actively try to find which node requires it... it is possible to
+    combine both schemes."
+
+    In this combined protocol the token {e parks} at its holder when the
+    system is idle instead of circulating:
+
+    - {b Push}: a parked holder periodically sends a cheap probe wave
+      around the ring; the first ready node the wave reaches answers
+      [Want], and the holder lends it the token directly.
+    - {b Pull}: a ready node still launches a binary gimme search; if it
+      reaches the holder (or a node the loan passes through), the trap is
+      served immediately.
+
+    The trade: idle expensive-message cost drops to zero (the token does
+    not move at all without demand) at the price of push-wave latency —
+    up to O(N) cheap hops — when the pull misses. This is the qualitative
+    contrast the paper draws between shepherding with cheap messages and
+    moving the expensive token. *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int }
+  | Loan of { stamp : int }
+  | Return of { stamp : int }
+  | Gimme of { requester : int; span : int; stamp : int }
+  | Probe of { holder : int; ttl : int }  (** Push wave (cheap). *)
+  | Want of { requester : int }  (** Reply to a probe (cheap). *)
+
+type state
+
+val make :
+  ?probe_interval:float ->
+  unit ->
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** Default [probe_interval] is 4.0 time units between push waves. The
+    package keeps [state] visible for introspection. *)
+
+val protocol : (module Node_intf.PROTOCOL)
+val is_parked : state -> bool

@@ -1,0 +1,19 @@
+(** The regular ring-rotation protocol — the paper's baseline.
+
+    System Message-Passing with rule 3′ (Figure 5): the token circulates
+    node to node, one hop per time unit, forever; a node that holds the
+    token serves all of its outstanding requests before passing it on.
+    Responsiveness is O(N) (Lemma 4): a lone request waits for the token
+    to come around, N/2 hops on average; under the paper's fixed load it
+    converges to the mean request interarrival (Figure 9's upper curve). *)
+
+open Tr_sim
+
+type msg = Token of { stamp : int }
+(** [stamp] counts rotation hops; it implements the bounded round counter
+    of §4.4 and lets observers reconstruct circulation order. *)
+
+include Node_intf.PROTOCOL with type msg := msg
+
+val protocol : (module Node_intf.PROTOCOL)
+(** First-class handle for {!Tr_sim.Engine.Make}-based runners. *)

@@ -1,0 +1,22 @@
+(** System Search restricted to cyclic (sequential) search — Lemma 5.
+
+    Search messages traverse the ring node by node ([y = x⁺¹] in rules 5
+    and 6), laying a trap at every node they visit, while the token also
+    rotates. Responsiveness is O(N): within N message delays the search
+    reaches the node that has (or will get) the token. This protocol
+    exists to show why the {e binary} search matters — it burns Θ(N)
+    search messages per request where BinarySearch needs O(log N). *)
+
+open Tr_sim
+
+type msg =
+  | Token of { stamp : int }
+  | Loan of { stamp : int }
+  | Return of { stamp : int }
+  | Gimme of { requester : int; ttl : int }
+      (** Sequential search with a hop budget of [n]. *)
+
+type state
+
+val protocol : (module Node_intf.PROTOCOL)
+val trap_queue : state -> int list

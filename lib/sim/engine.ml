@@ -1,0 +1,246 @@
+type stop =
+  | At_time of float
+  | After_serves of int
+  | After_token_messages of int
+  | First_of of stop list
+
+type config = {
+  n : int;
+  seed : int;
+  network : Network.t;
+  workload : Workload.spec;
+  trace : bool;
+  crashes : (float * int) list;
+}
+
+let default_config ~n ~seed =
+  {
+    n;
+    seed;
+    network = Network.default;
+    workload = Workload.Nothing;
+    trace = false;
+    crashes = [];
+  }
+
+module Make (P : Node_intf.PROTOCOL) = struct
+  type event =
+    | Deliver of { src : int; dst : int; channel : Network.channel; msg : P.msg }
+    | Timer of { node : int; key : int; epoch : int }
+    | Arrival of { nodes : int list }
+    | Crash of { node : int }
+
+  type t = {
+    config : config;
+    (* [states] and [ctxs] are populated during [create]; handlers always
+       access them through [t], so mutation is visible to every closure. *)
+    mutable states : P.state array;
+    mutable ctxs : P.msg Node_intf.ctx array;
+    queue : event Pqueue.t;
+    mutable clock : float;
+    net_rng : Rng.t;
+    workload : Workload.t;
+    metrics : Metrics.t;
+    trace : Trace.t;
+    crashed : bool array;
+    timer_epochs : (int * int, int) Hashtbl.t;
+    mutable initialized : bool;
+  }
+
+  let now t = t.clock
+  let metrics t = t.metrics
+  let trace t = t.trace
+  let state t i = t.states.(i)
+  let crashed t i = t.crashed.(i)
+
+  let timer_epoch t ~node ~key =
+    Option.value (Hashtbl.find_opt t.timer_epochs (node, key)) ~default:0
+
+  let make_ctx t node : P.msg Node_intf.ctx =
+    let rng = Rng.create ((t.config.seed * 1_000_003) + node) in
+    let send ?(channel = Network.Reliable) ~dst msg =
+      if dst < 0 || dst >= t.config.n then
+        invalid_arg "Engine: send destination out of range";
+      Metrics.on_message t.metrics channel (P.classify msg);
+      Trace.record t.trace ~time:t.clock
+        (Trace.Sent { src = node; dst; channel; label = P.label msg });
+      if Network.dropped t.config.network t.net_rng channel ~src:node ~dst then
+        Trace.record t.trace ~time:t.clock
+          (Trace.Dropped { src = node; dst; label = P.label msg })
+      else begin
+        let delay =
+          Network.sample_delay t.config.network t.net_rng channel ~src:node
+            ~dst
+        in
+        Pqueue.push t.queue ~time:(t.clock +. delay)
+          (Deliver { src = node; dst; channel; msg })
+      end
+    in
+    let set_timer ~delay ~key =
+      if delay < 0.0 then invalid_arg "Engine: negative timer delay";
+      let epoch = timer_epoch t ~node ~key in
+      Pqueue.push t.queue ~time:(t.clock +. delay) (Timer { node; key; epoch })
+    in
+    let cancel_timers ~key =
+      Hashtbl.replace t.timer_epochs (node, key) (timer_epoch t ~node ~key + 1)
+    in
+    let serve () =
+      match Metrics.oldest_arrival t.metrics ~node with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Engine: node %d served with no pending request"
+               node)
+      | Some arrival ->
+          Metrics.on_serve t.metrics ~time:t.clock ~node;
+          Trace.record t.trace ~time:t.clock
+            (Trace.Served { node; waited = t.clock -. arrival });
+          (* A [Continuous] competitor re-requests the moment it is served
+             (Theorem 3's adversary). *)
+          if Workload.wants_immediate_rerequest t.workload node then
+            Pqueue.push t.queue ~time:t.clock (Arrival { nodes = [ node ] })
+    in
+    {
+      Node_intf.self = node;
+      n = t.config.n;
+      now = (fun () -> t.clock);
+      rng;
+      send;
+      set_timer;
+      cancel_timers;
+      serve;
+      pending = (fun () -> Metrics.pending t.metrics ~node);
+      possession =
+        (fun () ->
+          Metrics.on_token_possession t.metrics ~node;
+          Trace.record t.trace ~time:t.clock (Trace.Token_at { node }));
+      search_forward = (fun () -> Metrics.on_search_forward t.metrics);
+      note =
+        (fun thunk ->
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~time:t.clock
+              (Trace.Note { node; text = thunk () }));
+    }
+
+  let create config =
+    if config.n < 2 then invalid_arg "Engine.create: n < 2";
+    let workload =
+      Workload.make config.workload ~n:config.n
+        ~rng:(Rng.create (config.seed lxor 0x5DEECE66D))
+    in
+    let t =
+      {
+        config;
+        states = [||];
+        ctxs = [||];
+        queue = Pqueue.create ();
+        clock = 0.0;
+        net_rng = Rng.create (config.seed lxor 0x2545F491);
+        workload;
+        metrics = Metrics.create ~n:config.n;
+        trace = Trace.create ~enabled:config.trace ();
+        crashed = Array.make config.n false;
+        timer_epochs = Hashtbl.create 16;
+        initialized = false;
+      }
+    in
+    t.ctxs <- Array.init config.n (fun node -> make_ctx t node);
+    t.states <- Array.init config.n (fun node -> P.init t.ctxs.(node));
+    t
+
+  let schedule_first_arrival t =
+    match Workload.first t.workload with
+    | None -> ()
+    | Some (time, nodes) -> Pqueue.push t.queue ~time (Arrival { nodes })
+
+  let schedule_next_arrival t ~after =
+    match Workload.next t.workload ~after with
+    | None -> ()
+    | Some (time, nodes) ->
+        Pqueue.push t.queue ~time:(Stdlib.max time t.clock) (Arrival { nodes })
+
+  let schedule_crashes t =
+    List.iter
+      (fun (time, node) ->
+        if node < 0 || node >= t.config.n then
+          invalid_arg "Engine: crash node out of range";
+        Pqueue.push t.queue ~time (Crash { node }))
+      t.config.crashes
+
+  let initialize t =
+    if not t.initialized then begin
+      t.initialized <- true;
+      schedule_first_arrival t;
+      schedule_crashes t
+    end
+
+  let deliver t ~src ~dst ~msg =
+    if not t.crashed.(dst) then begin
+      Trace.record t.trace ~time:t.clock
+        (Trace.Delivered { src; dst; label = P.label msg });
+      t.states.(dst) <- P.on_message t.ctxs.(dst) t.states.(dst) ~src msg
+    end
+
+  let fire_timer t ~node ~key ~epoch =
+    if (not t.crashed.(node)) && epoch >= timer_epoch t ~node ~key then
+      t.states.(node) <- P.on_timer t.ctxs.(node) t.states.(node) ~key
+
+  let arrive t nodes =
+    let live node = not t.crashed.(node) in
+    List.iter
+      (fun node ->
+        if live node then begin
+          Metrics.on_request t.metrics ~time:t.clock ~node;
+          Trace.record t.trace ~time:t.clock (Trace.Request { node });
+          t.states.(node) <- P.on_request t.ctxs.(node) t.states.(node)
+        end)
+      nodes
+
+  let crash t node =
+    t.crashed.(node) <- true;
+    Trace.record t.trace ~time:t.clock (Trace.Crashed { node })
+
+  let rec stop_reached t stop =
+    match stop with
+    | At_time limit -> t.clock > limit
+    | After_serves k -> Metrics.serves t.metrics >= k
+    | After_token_messages k -> Metrics.token_messages t.metrics >= k
+    | First_of stops -> List.exists (stop_reached t) stops
+
+  (* With an [At_time] bound we must not pop events past the horizon, so
+     the clock never overshoots a time-limited run. *)
+  let rec within_horizon t stop =
+    match stop with
+    | At_time limit -> (
+        match Pqueue.peek_time t.queue with
+        | None -> false
+        | Some time -> time <= limit)
+    | After_serves _ | After_token_messages _ -> not (Pqueue.is_empty t.queue)
+    | First_of stops -> List.for_all (within_horizon t) stops
+
+  let run t ~stop =
+    initialize t;
+    let continue = ref true in
+    while !continue do
+      if stop_reached t stop || not (within_horizon t stop) then
+        continue := false
+      else
+        match Pqueue.pop t.queue with
+        | None -> continue := false
+        | Some (time, event) -> (
+            t.clock <- Stdlib.max t.clock time;
+            match event with
+            | Deliver { src; dst; channel = _; msg } -> deliver t ~src ~dst ~msg
+            | Timer { node; key; epoch } -> fire_timer t ~node ~key ~epoch
+            | Crash { node } -> crash t node
+            | Arrival { nodes } ->
+                let batch_time = t.clock in
+                arrive t nodes;
+                schedule_next_arrival t ~after:batch_time)
+    done
+
+  let request_now t ~node =
+    if node < 0 || node >= t.config.n then
+      invalid_arg "Engine.request_now: node out of range";
+    initialize t;
+    Pqueue.push t.queue ~time:t.clock (Arrival { nodes = [ node ] })
+end

@@ -1,0 +1,144 @@
+module Summary = Tr_stats.Summary
+module Quantile = Tr_stats.Quantile
+
+type msg_class = Token_msg | Control_msg
+
+type t = {
+  n : int;
+  pending : float Queue.t array; (* arrival times, FIFO per node *)
+  mutable total_pending : int;
+  mutable serves : int;
+  mutable last_service_time : float;
+  responsiveness : Summary.t;
+  responsiveness_q : Quantile.t;
+  waiting : Summary.t;
+  waiting_q : Quantile.t;
+  waiting_per_node : Summary.t array;
+  mutable token_messages : int;
+  mutable control_messages : int;
+  mutable cheap_messages : int;
+  mutable search_forwards : int;
+  possessions : int array;
+  mutable total_possessions : int;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Metrics.create: n < 1";
+  {
+    n;
+    pending = Array.init n (fun _ -> Queue.create ());
+    total_pending = 0;
+    serves = 0;
+    last_service_time = neg_infinity;
+    responsiveness = Summary.create ();
+    responsiveness_q = Quantile.create ();
+    waiting = Summary.create ();
+    waiting_q = Quantile.create ();
+    waiting_per_node = Array.init n (fun _ -> Summary.create ());
+    token_messages = 0;
+    control_messages = 0;
+    cheap_messages = 0;
+    search_forwards = 0;
+    possessions = Array.make n 0;
+    total_possessions = 0;
+  }
+
+let n t = t.n
+
+let on_request t ~time ~node =
+  Queue.push time t.pending.(node);
+  t.total_pending <- t.total_pending + 1
+
+let earliest_outstanding t =
+  let best = ref infinity in
+  Array.iter
+    (fun q ->
+      match Queue.peek_opt q with
+      | Some arrival when arrival < !best -> best := arrival
+      | Some _ | None -> ())
+    t.pending;
+  !best
+
+let on_serve t ~time ~node =
+  match Queue.take_opt t.pending.(node) with
+  | None -> invalid_arg "Metrics.on_serve: no outstanding request at node"
+  | Some arrival ->
+      (* [arrival] has already been popped, but it still bounds the window:
+         the demand window opened at the earliest outstanding request,
+         which is [min arrival (earliest remaining)]. *)
+      let window_open =
+        Stdlib.min arrival (earliest_outstanding t)
+      in
+      let window_open = Stdlib.max window_open t.last_service_time in
+      let sample = time -. window_open in
+      Summary.add t.responsiveness sample;
+      Quantile.add t.responsiveness_q sample;
+      let waited = time -. arrival in
+      Summary.add t.waiting waited;
+      Quantile.add t.waiting_q waited;
+      Summary.add t.waiting_per_node.(node) waited;
+      t.total_pending <- t.total_pending - 1;
+      t.serves <- t.serves + 1;
+      t.last_service_time <- time
+
+let on_message t channel cls =
+  (match cls with
+  | Token_msg -> t.token_messages <- t.token_messages + 1
+  | Control_msg -> t.control_messages <- t.control_messages + 1);
+  match channel with
+  | Network.Cheap -> t.cheap_messages <- t.cheap_messages + 1
+  | Network.Reliable -> ()
+
+let on_token_possession t ~node =
+  t.possessions.(node) <- t.possessions.(node) + 1;
+  t.total_possessions <- t.total_possessions + 1
+
+let on_search_forward t = t.search_forwards <- t.search_forwards + 1
+let pending t ~node = Queue.length t.pending.(node)
+let oldest_arrival t ~node = Queue.peek_opt t.pending.(node)
+let total_pending t = t.total_pending
+let serves t = t.serves
+let responsiveness t = t.responsiveness
+let responsiveness_quantiles t = t.responsiveness_q
+let waiting t = t.waiting
+let waiting_quantiles t = t.waiting_q
+let token_messages t = t.token_messages
+let control_messages t = t.control_messages
+let cheap_messages t = t.cheap_messages
+let search_forwards t = t.search_forwards
+let possessions t ~node = t.possessions.(node)
+let total_possessions t = t.total_possessions
+let max_possessions t = Array.fold_left Stdlib.max 0 t.possessions
+
+let waiting_by_node t ~node = t.waiting_per_node.(node)
+
+let waiting_fairness t =
+  let means =
+    Array.to_list t.waiting_per_node
+    |> List.filter_map (fun s ->
+           if Summary.count s > 0 then Some (Summary.mean s) else None)
+  in
+  match means with
+  | [] -> nan
+  | _ ->
+      let k = float_of_int (List.length means) in
+      let sum = List.fold_left ( +. ) 0.0 means in
+      let sum_sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 means in
+      if sum_sq = 0.0 then 1.0 else sum *. sum /. (k *. sum_sq)
+
+let possession_imbalance t =
+  if t.total_possessions = 0 then nan
+  else
+    let mean = float_of_int t.total_possessions /. float_of_int t.n in
+    float_of_int (max_possessions t) /. mean
+
+let report ppf t =
+  Format.fprintf ppf "serves: %d (pending %d)@\n" t.serves t.total_pending;
+  Format.fprintf ppf "responsiveness: %a@\n" Summary.pp t.responsiveness;
+  Format.fprintf ppf "waiting:        %a@\n" Summary.pp t.waiting;
+  Format.fprintf ppf "messages: token=%d control=%d (cheap-channel=%d)@\n"
+    t.token_messages t.control_messages t.cheap_messages;
+  Format.fprintf ppf "search forwards: %d@\n" t.search_forwards;
+  Format.fprintf ppf "possessions: total=%d max=%d imbalance=%.3g@\n"
+    t.total_possessions (max_possessions t) (possession_imbalance t);
+  Format.fprintf ppf "waiting fairness (Jain): %.3f@\n" (waiting_fairness t)

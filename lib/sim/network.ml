@@ -1,0 +1,52 @@
+type channel = Reliable | Cheap
+
+type delay_model =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Per_link of (src:int -> dst:int -> float)
+
+type t = {
+  reliable_delay : delay_model;
+  cheap_delay : delay_model;
+  cheap_drop_probability : float;
+  partitioned : int -> int -> bool;
+}
+
+let create ?(reliable_delay = Constant 1.0) ?(cheap_delay = Constant 1.0)
+    ?(cheap_drop_probability = 0.0) ?(partitioned = fun _ _ -> false) () =
+  if cheap_drop_probability < 0.0 || cheap_drop_probability > 1.0 then
+    invalid_arg "Network.create: drop probability outside [0,1]";
+  { reliable_delay; cheap_delay; cheap_drop_probability; partitioned }
+
+let default = create ()
+
+let epsilon_delay = 1e-9
+
+let sample model rng ~src ~dst =
+  let raw =
+    match model with
+    | Constant d -> d
+    | Uniform (lo, hi) -> Rng.uniform_range rng ~lo ~hi
+    | Exponential mean -> Rng.exponential rng ~mean
+    | Per_link f -> f ~src ~dst
+  in
+  Stdlib.max epsilon_delay raw
+
+let sample_delay t rng channel ~src ~dst =
+  match channel with
+  | Reliable -> sample t.reliable_delay rng ~src ~dst
+  | Cheap -> sample t.cheap_delay rng ~src ~dst
+
+let dropped t rng channel ~src ~dst =
+  t.partitioned src dst
+  ||
+  match channel with
+  | Reliable -> false
+  | Cheap ->
+      t.cheap_drop_probability > 0.0
+      && Rng.float rng 1.0 < t.cheap_drop_probability
+
+let pp_channel ppf = function
+  | Reliable -> Format.pp_print_string ppf "reliable"
+  | Cheap -> Format.pp_print_string ppf "cheap"

@@ -1,0 +1,50 @@
+(** Complete-graph message fabric model.
+
+    The paper distinguishes two communication modes: "expensive" messages
+    with delivery guarantees (the token and the history it carries) and
+    "cheap" messages without guarantees (search hints, traps, probes) that
+    may be lost or delayed arbitrarily without affecting safety. The
+    {!channel} type makes that distinction first-class; the simulation
+    engine routes every send through {!sample_delay} / {!dropped}. *)
+
+type channel =
+  | Reliable  (** Expensive: always delivered, bounded delay. *)
+  | Cheap     (** Performance hints: may be dropped or delayed further. *)
+
+type delay_model =
+  | Constant of float
+      (** Every message takes exactly this long (the paper's figures assume
+          one time unit per hop). *)
+  | Uniform of float * float  (** Uniform in [\[lo, hi\]]. *)
+  | Exponential of float      (** Exponential with the given mean. *)
+  | Per_link of (src:int -> dst:int -> float)
+      (** Heterogeneous topology: each directed link has its own latency
+          (e.g. geographic rings, one slow node). Must return positive
+          values. *)
+
+type t
+
+val create :
+  ?reliable_delay:delay_model ->
+  ?cheap_delay:delay_model ->
+  ?cheap_drop_probability:float ->
+  ?partitioned:(int -> int -> bool) ->
+  unit ->
+  t
+(** Defaults: both channels [Constant 1.0], no drops, no partitions.
+    [partitioned src dst] — when it returns [true] the link silently drops
+    every message (used by fault-injection tests).
+    @raise Invalid_argument if the drop probability is outside [0,1]. *)
+
+val default : t
+(** [create ()] — unit delay, fully reliable. *)
+
+val sample_delay : t -> Rng.t -> channel -> src:int -> dst:int -> float
+(** Latency for the next message on [channel] over the ([src], [dst])
+    link. Always > 0. *)
+
+val dropped : t -> Rng.t -> channel -> src:int -> dst:int -> bool
+(** Whether the fabric loses this message. [Reliable] messages are dropped
+    only by a partition, never by the random loss process. *)
+
+val pp_channel : Format.formatter -> channel -> unit

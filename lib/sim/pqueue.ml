@@ -1,0 +1,74 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) unused when len = 0 *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ensure_capacity t filler =
+  let cap = Array.length t.heap in
+  if t.len = cap then begin
+    let bigger = Array.make (Stdlib.max 16 (2 * cap)) filler in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  ensure_capacity t entry;
+  t.next_seq <- t.next_seq + 1;
+  (* Sift up. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      t.heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let moved = t.heap.(t.len) in
+      t.heap.(0) <- moved;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.len && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  t.len <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,20 @@
+(** Stable min-priority queue keyed by simulation time.
+
+    Entries with equal time leave the queue in insertion order (each push
+    receives a monotone sequence number), which keeps executions
+    deterministic when many events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest entry (ties: oldest insertion first). *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

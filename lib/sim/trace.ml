@@ -1,0 +1,96 @@
+type event =
+  | Sent of { src : int; dst : int; channel : Network.channel; label : string }
+  | Delivered of { src : int; dst : int; label : string }
+  | Dropped of { src : int; dst : int; label : string }
+  | Request of { node : int }
+  | Served of { node : int; waited : float }
+  | Token_at of { node : int }
+  | Crashed of { node : int }
+  | Note of { node : int; text : string }
+
+type entry = { time : float; event : event }
+
+type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
+
+let create ?(enabled = true) () = { enabled; rev_entries = []; count = 0 }
+let enabled t = t.enabled
+
+let record t ~time event =
+  if t.enabled then begin
+    t.rev_entries <- { time; event } :: t.rev_entries;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.rev_entries
+let length t = t.count
+let filter t ~f = List.filter f (events t)
+
+let token_possessions t =
+  List.filter_map
+    (fun { time; event } ->
+      match event with Token_at { node } -> Some (time, node) | _ -> None)
+    (events t)
+
+let pending_series t =
+  let count = ref 0 in
+  List.filter_map
+    (fun { time; event } ->
+      match event with
+      | Request _ ->
+          incr count;
+          Some (time, !count)
+      | Served _ ->
+          decr count;
+          Some (time, !count)
+      | _ -> None)
+    (events t)
+
+let served_series t =
+  let count = ref 0 in
+  List.filter_map
+    (fun { time; event } ->
+      match event with
+      | Served _ ->
+          incr count;
+          Some (time, !count)
+      | _ -> None)
+    (events t)
+
+let running_mean_waiting t ~window =
+  if window < 1 then invalid_arg "Trace.running_mean_waiting: window < 1";
+  (* A ring buffer of the last [window] waits keeps this linear. *)
+  let buffer = Array.make window 0.0 in
+  let filled = ref 0 and cursor = ref 0 and sum = ref 0.0 in
+  List.filter_map
+    (fun { time; event } ->
+      match event with
+      | Served { waited; _ } ->
+          if !filled = window then sum := !sum -. buffer.(!cursor)
+          else incr filled;
+          buffer.(!cursor) <- waited;
+          sum := !sum +. waited;
+          cursor := (!cursor + 1) mod window;
+          Some (time, !sum /. float_of_int !filled)
+      | _ -> None)
+    (events t)
+
+let pp_event ppf = function
+  | Sent { src; dst; channel; label } ->
+      Format.fprintf ppf "send %d->%d [%a] %s" src dst Network.pp_channel
+        channel label
+  | Delivered { src; dst; label } ->
+      Format.fprintf ppf "recv %d->%d %s" src dst label
+  | Dropped { src; dst; label } ->
+      Format.fprintf ppf "drop %d->%d %s" src dst label
+  | Request { node } -> Format.fprintf ppf "request @%d" node
+  | Served { node; waited } ->
+      Format.fprintf ppf "served @%d (waited %.3g)" node waited
+  | Token_at { node } -> Format.fprintf ppf "token @%d" node
+  | Crashed { node } -> Format.fprintf ppf "crash @%d" node
+  | Note { node; text } -> Format.fprintf ppf "note @%d: %s" node text
+
+let pp ppf t =
+  List.iter
+    (fun { time; event } ->
+      Format.fprintf ppf "%10.3f  %a@\n" time pp_event event)
+    (events t)

@@ -1,0 +1,50 @@
+(** Structured execution traces.
+
+    A trace records what happened and when, at a level of detail chosen by
+    the caller. Tests use traces to assert ordering properties (FIFO trap
+    service, fairness windows, token uniqueness); debugging uses the
+    pretty-printed form. Recording is O(1) per event into a growable
+    buffer; a disabled trace costs one branch per event. *)
+
+type event =
+  | Sent of { src : int; dst : int; channel : Network.channel; label : string }
+  | Delivered of { src : int; dst : int; label : string }
+  | Dropped of { src : int; dst : int; label : string }
+  | Request of { node : int }
+  | Served of { node : int; waited : float }
+  | Token_at of { node : int }  (** Token possession began at [node]. *)
+  | Crashed of { node : int }
+  | Note of { node : int; text : string }
+
+type entry = { time : float; event : event }
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val record : t -> time:float -> event -> unit
+val events : t -> entry list
+(** Chronological (recording order). *)
+
+val length : t -> int
+
+val filter : t -> f:(entry -> bool) -> entry list
+
+val token_possessions : t -> (float * int) list
+(** Times and holders of every [Token_at] event, chronological. *)
+
+val pending_series : t -> (float * int) list
+(** Outstanding-request count over time, one point per change
+    (reconstructed from [Request]/[Served] events). Useful for warm-up
+    and saturation analysis. *)
+
+val served_series : t -> (float * int) list
+(** Cumulative serves over time, one point per [Served] event. *)
+
+val running_mean_waiting : t -> window:int -> (float * float) list
+(** Sliding-window mean of the last [window] waiting times, one point per
+    [Served] event — how long the statistic takes to converge (the
+    paper's "1000 rounds" steady-state question).
+    @raise Invalid_argument if [window < 1]. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

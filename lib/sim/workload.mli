@@ -1,0 +1,49 @@
+(** Request (broadcast / critical-section) arrival processes.
+
+    A workload decides when each node becomes {e ready} — i.e. wants the
+    token. The paper's Figure 9/10 workload is {!Global_poisson}: "on
+    average, every [mean] time units, one of the nodes in the system makes
+    a request", the requester chosen uniformly. The other generators stress
+    protocols in ways the paper discusses qualitatively (bursty but
+    infrequent use, hotspots, adversarial single requesters). *)
+
+type spec =
+  | Nothing
+      (** No requests: the idle system; the token just circulates. *)
+  | Global_poisson of { mean_interarrival : float }
+      (** Poisson process of aggregate rate [1/mean]; uniform node choice. *)
+  | Per_node_poisson of { mean_interarrival : float }
+      (** Each node runs an independent Poisson process with this mean. *)
+  | Burst of { period : float; size : int }
+      (** Every [period], [size] distinct random nodes become ready
+          simultaneously (bursty-but-infrequent use). *)
+  | Hotspot of { mean_interarrival : float; hot : int; bias : float }
+      (** Global Poisson where the hot node receives a [bias] fraction of
+          requests and the remainder spread uniformly. *)
+  | Continuous of { node : int }
+      (** [node] re-requests immediately after every service: the
+          adversarial competitor of Theorem 3. *)
+  | Script of (float * int) list
+      (** Explicit (time, node) arrivals, for worst-case experiments. Must
+          be sorted by time. *)
+
+type t
+
+val make : spec -> n:int -> rng:Rng.t -> t
+(** Instantiate for [n] nodes with a dedicated RNG stream.
+    @raise Invalid_argument on malformed specs (bad node ids, unsorted
+    scripts, non-positive means, bias outside [0,1], burst size > n). *)
+
+val first : t -> (float * int list) option
+(** Earliest arrival batch: time and the nodes becoming ready. *)
+
+val next : t -> after:float -> (float * int list) option
+(** Arrival batch strictly after the batch that fired at [after]. For
+    stochastic specs this is an endless stream; [None] only for finite
+    scripts and [Nothing]. *)
+
+val wants_immediate_rerequest : t -> int -> bool
+(** True when the spec says this node re-requests the instant its previous
+    request is served ({!Continuous}). The engine re-injects on serve. *)
+
+val spec : t -> spec

@@ -1,0 +1,61 @@
+open Tr_trs
+
+let node x = Term.Int x
+let bot = Term.Const "bot"
+let qent x d budget = Term.App ("qent", [ x; d; budget ])
+let pent x h = Term.App ("pent", [ x; h ])
+let msg a b payload = Term.App ("msg", [ a; b; payload ])
+let went x trap = Term.App ("went", [ x; trap ])
+let tok h = Term.App ("tok", [ h ])
+let loan h = Term.App ("loan", [ h ])
+let srch trap = Term.App ("srch", [ trap ])
+let bsrch span h_z trap = Term.App ("bsrch", [ span; h_z; trap ])
+let tau_of t = Term.App ("tau", [ t ])
+
+let bag_mem bag elem =
+  match bag with
+  | Term.Bag items -> List.exists (Term.equal elem) items
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Notation.bag_mem: not a bag: %s" (Term.to_string other))
+
+let bag_add_unique bag elem =
+  if bag_mem bag elem then bag
+  else
+    match bag with
+    | Term.Bag items -> Term.bag (elem :: items)
+    | _ -> assert false
+let empty_bag = Term.Bag []
+let empty_history = Term.Seq []
+
+let all_nodes ~n = List.init n (fun i -> i)
+
+let initial_q ~n ~data_budget =
+  Term.bag
+    (List.map
+       (fun x -> qent (node x) empty_history (Term.Int data_budget))
+       (all_nodes ~n))
+
+let initial_p ~n =
+  Term.bag (List.map (fun x -> pent (node x) empty_history) (all_nodes ~n))
+
+let extend_each v choices subst =
+  List.map (fun choice -> Subst.bind subst v choice) (choices subst)
+
+let extend_with f subst =
+  [ List.fold_left (fun s (v, t) -> Subst.bind s v t) subst (f subst) ]
+
+let compose_extends extends subst =
+  List.fold_left
+    (fun substs ext -> List.concat_map ext substs)
+    [ subst ] extends
+
+let forward ~n x k = (((x + k) mod n) + n) mod n
+
+let is_rot = function Term.App ("rot", _) -> true | _ -> false
+
+let rot_projection h = Term.seq_project ~keep:is_rot h
+let data_projection h = Term.seq_project ~keep:(fun e -> not (is_rot e)) h
+
+let histories_comparable a b =
+  Term.seq_is_prefix a b || Term.seq_is_prefix b a

@@ -1,0 +1,106 @@
+(** Shared vocabulary for the paper's system specifications.
+
+    Encoding conventions (deviations from the paper's surface syntax are
+    noted here once and apply to every system):
+
+    - A [Q] entry is [qent(x, d_x, b_x)]: the paper's pair [(x, d_x)] plus
+      a {e data budget} [b_x] bounding how many times rule 1 (new datum)
+      can fire at node [x]. The budget makes exhaustive exploration
+      finite; the paper uses unbounded sets "for simplicity of
+      presentation" and itself notes (§4.4) that they are easily bounded.
+    - [d_x] and all histories are [Seq] terms; the paper's φ_x (empty
+      datum) is the empty sequence, and [⊕] with an empty right operand is
+      the identity, exactly as φ is the identity for ⊕ in the paper.
+    - Rules that consume a [Q] entry reset it to the empty datum rather
+      than deleting the pair, following System Token's rule 2 (deleting,
+      as Systems S/Message-Passing literally write, would disable every
+      later rule that matches [(x, d_x)] — including token rotation — after
+      a node's first broadcast).
+    - Messages are flattened: the paper's [O | (x, (y, m))] becomes a bag
+      element [msg(x, y, m)]; the transfer rule rewrites [O]'s
+      [msg(x, y, m)] to [I]'s [msg(y, x, m)] ("y received m from x").
+    - Rotation rules append a marker [rot(x)] to the history when the
+      token leaves [x]; the paper's [⊂_C] comparison is prefix comparison
+      after projecting onto these markers (§4.2's "projection onto the
+      circular token ring rotation events"). Markers are ignored by the
+      prefix-property checker, which projects them away first.
+    - Token payloads: [tok(H)] is the circulating token carrying history
+      [H]; [loan(H)] is the paper's decorated [ŷ] token that must be
+      returned upon use (BinarySearch rules 7–8). *)
+
+open Tr_trs
+
+(** {1 Term builders} *)
+
+val node : int -> Term.t
+val bot : Term.t
+(** The ⊥ token-in-transit marker. *)
+
+val qent : Term.t -> Term.t -> Term.t -> Term.t
+(** [qent x d budget]. *)
+
+val pent : Term.t -> Term.t -> Term.t
+(** [pent x h] — a local-history entry of [P]. *)
+
+val msg : Term.t -> Term.t -> Term.t -> Term.t
+(** [msg a b payload]. In [O]: [a] sends to [b]. In [I]: [a] received
+    from [b]. *)
+
+val went : Term.t -> Term.t -> Term.t
+(** [went x tau_z] — a trap at node [x] on behalf of [z]. *)
+
+val tok : Term.t -> Term.t
+val loan : Term.t -> Term.t
+val srch : Term.t -> Term.t
+(** Sequential-search payload carrying a trap symbol. *)
+
+val bsrch : Term.t -> Term.t -> Term.t -> Term.t
+(** [bsrch span h_z tau_z] — binary-search payload: remaining span,
+    requester's history snapshot, requester's trap symbol. *)
+
+val tau_of : Term.t -> Term.t
+(** [tau_of t] is [tau(t)] for an arbitrary term (e.g. a pattern
+    variable); [Term.tau] only takes concrete node ids. *)
+
+val bag_mem : Term.t -> Term.t -> bool
+(** [bag_mem bag elem] — membership in a [Bag] term.
+    @raise Invalid_argument on a non-bag. *)
+
+val bag_add_unique : Term.t -> Term.t -> Term.t
+(** Add the element unless an equal one is already present: the
+    set-semantics union used to keep trap collections duplicate-free. *)
+
+(** {1 Initial-state fields} *)
+
+val initial_q : n:int -> data_budget:int -> Term.t
+val initial_p : n:int -> Term.t
+val empty_bag : Term.t
+val empty_history : Term.t
+
+(** {1 Guard / extension helpers} *)
+
+val all_nodes : n:int -> int list
+
+val extend_each : string -> (Subst.t -> Term.t list) -> Subst.t -> Subst.t list
+(** [extend_each v choices] binds [v] to every candidate in turn —
+    the building block for "send to some node y" non-determinism. *)
+
+val extend_with : (Subst.t -> (string * Term.t) list) -> Subst.t -> Subst.t list
+(** Deterministic multi-binding extension. *)
+
+val compose_extends :
+  (Subst.t -> Subst.t list) list -> Subst.t -> Subst.t list
+(** Left-to-right Kleisli composition of extensions. *)
+
+val forward : n:int -> int -> int -> int
+(** [forward ~n x k] is x^{+k} with wrap-around (negative [k] allowed). *)
+
+val rot_projection : Term.t -> Term.t
+(** Keep only [rot] markers of a history. *)
+
+val data_projection : Term.t -> Term.t
+(** Drop [rot] markers of a history (for the prefix property, which is
+    about broadcast data). *)
+
+val histories_comparable : Term.t -> Term.t -> bool
+(** One is a prefix of the other (on full histories). *)

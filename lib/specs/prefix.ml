@@ -1,0 +1,133 @@
+open Tr_trs
+open Notation
+
+let projected h = data_projection h
+
+let chain histories =
+  let hs = List.map projected histories in
+  let rec pairs = function
+    | [] -> Ok ()
+    | h :: rest ->
+        let bad = List.find_opt (fun h' -> not (histories_comparable h h')) rest in
+        (match bad with
+        | Some h' ->
+            Error
+              (Printf.sprintf "histories not prefix-comparable: %s vs %s"
+                 (Term.to_string h) (Term.to_string h'))
+        | None -> pairs rest)
+  in
+  pairs hs
+
+let no_duplicate_data h =
+  match projected h with
+  | Term.Seq items ->
+      let rec dup = function
+        | [] -> Ok ()
+        | x :: rest ->
+            if List.exists (Term.equal x) rest then
+              Error
+                (Printf.sprintf "datum %s broadcast twice" (Term.to_string x))
+            else dup rest
+      in
+      dup items
+  | _ -> Error "history is not a sequence"
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let longest histories =
+  List.fold_left
+    (fun best h ->
+      match (best, h) with
+      | Term.Seq bs, Term.Seq hs ->
+          if List.length hs > List.length bs then h else best
+      | _ -> best)
+    (Term.Seq []) histories
+
+let check_locals_against_global ~locals ~global =
+  let rec go = function
+    | [] -> Ok ()
+    | (x, h) :: rest ->
+        if Term.seq_is_prefix (projected h) (projected global) then go rest
+        else
+          Error
+            (Printf.sprintf "node %d's history %s is not a prefix of %s" x
+               (Term.to_string h) (Term.to_string global))
+  in
+  go locals
+
+let check_s state =
+  no_duplicate_data (System_s.global_history state)
+
+let check_s1 state =
+  let global = System_s1.global_history state in
+  let* () = no_duplicate_data global in
+  check_locals_against_global ~locals:(System_s1.local_histories state) ~global
+
+let check_token state =
+  let global = System_token.global_history state in
+  let* () = no_duplicate_data global in
+  check_locals_against_global
+    ~locals:(System_token.local_histories state)
+    ~global
+
+let check_msgpass state =
+  let locals = List.map snd (System_msgpass.local_histories state) in
+  let carried =
+    List.map (fun (_, _, h) -> h) (System_msgpass.in_flight_tokens state)
+  in
+  let histories = locals @ carried in
+  let* () = chain histories in
+  let* () = no_duplicate_data (longest histories) in
+  let held = match System_msgpass.holder state with Some _ -> 1 | None -> 0 in
+  let tokens = held + List.length carried in
+  if tokens = 1 then Ok ()
+  else Error (Printf.sprintf "token uniqueness violated: %d tokens" tokens)
+
+let histories_of_bag bag =
+  match bag with
+  | Term.Bag items ->
+      List.concat_map
+        (function
+          | Term.App ("msg", [ _; _; Term.App (("tok" | "loan"), [ h ]) ]) ->
+              [ h ]
+          | Term.App ("msg", [ _; _; Term.App ("bsrch", [ _; h; _ ]) ]) -> [ h ]
+          | _ -> [])
+        items
+  | _ -> []
+
+let count_tokens_of_bag bag =
+  match bag with
+  | Term.Bag items ->
+      List.length
+        (List.filter
+           (function
+             | Term.App ("msg", [ _; _; Term.App (("tok" | "loan"), _) ]) ->
+                 true
+             | _ -> false)
+           items)
+  | _ -> 0
+
+let check_six_field ~tag state =
+  match state with
+  | Term.App (t, [ _q; p; holder; i; o; _w ]) when String.equal t tag ->
+      let locals =
+        match p with
+        | Term.Bag entries ->
+            List.filter_map
+              (function
+                | Term.App ("pent", [ _; h ]) -> Some h
+                | _ -> None)
+              entries
+        | _ -> []
+      in
+      let histories = locals @ histories_of_bag i @ histories_of_bag o in
+      let* () = chain histories in
+      let* () = no_duplicate_data (longest histories) in
+      let held = match holder with Term.Int _ -> 1 | _ -> 0 in
+      let tokens = held + count_tokens_of_bag i + count_tokens_of_bag o in
+      if tokens = 1 then Ok ()
+      else Error (Printf.sprintf "token uniqueness violated: %d tokens" tokens)
+  | _ -> Error (Printf.sprintf "not a %s state" tag)
+
+let check_search state = check_six_field ~tag:"SR" state
+let check_binsearch state = check_six_field ~tag:"BS" state

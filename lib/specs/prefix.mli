@@ -1,0 +1,44 @@
+(** The paper's safety criterion, machine-checkable per state.
+
+    Definition 2: a protocol satisfies the {e prefix property} if each
+    node's individual history is a prefix of the global history. For the
+    distributed systems there is no global history; the equivalent
+    statement is that all histories present in a state (local prefix
+    histories, histories carried by token/loan messages, and search
+    snapshots) form a {e chain} under the prefix order — each is then a
+    prefix of the maximal one, which plays the role of the global history
+    (this is exactly the mapping used in Lemma 3's proof).
+
+    All checks compare {e data-projected} histories (rotation markers
+    stripped), since the property is about broadcast data. Checkers
+    return [Error reason] suitable for {!Tr_trs.Explore.bfs}'s [check]. *)
+
+open Tr_trs
+
+val chain : Term.t list -> (unit, string) result
+(** Every pair of (data-projected) histories is prefix-comparable. *)
+
+val no_duplicate_data : Term.t -> (unit, string) result
+(** No datum occurs twice in the (data-projected) history: broadcasts are
+    delivered exactly once. *)
+
+val check_s : Term.t -> (unit, string) result
+(** System S: the global history never contains duplicated data. *)
+
+val check_s1 : Term.t -> (unit, string) result
+(** System S1 (Lemma 1): each local history is a prefix of [H]. *)
+
+val check_token : Term.t -> (unit, string) result
+(** System Token (Lemma 2). *)
+
+val check_msgpass : Term.t -> (unit, string) result
+(** System Message-Passing (Lemma 3): chain over local histories and
+    in-flight token payloads, plus token uniqueness. *)
+
+val check_search : Term.t -> (unit, string) result
+(** System Search: as Message-Passing; search messages carry no history. *)
+
+val check_binsearch : Term.t -> (unit, string) result
+(** System BinarySearch (Theorem 1): chain over local histories,
+    token/loan payloads and search snapshots, token uniqueness, and
+    duplicate-freedom. *)

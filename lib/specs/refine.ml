@@ -1,0 +1,80 @@
+open Tr_trs
+module TMap = Map.Make (Term)
+
+type failure = {
+  source : Term.t;
+  rule : string;
+  target : Term.t;
+  reason : string;
+}
+
+type report = {
+  edges : int;
+  stutters : int;
+  steps : int;
+  failures : failure list;
+}
+
+let check_simulation ?(max_abstract_steps = 2) ~abstraction ~abstract_system
+    ~edges () =
+  let successor_cache = ref TMap.empty in
+  let successors state =
+    match TMap.find_opt state !successor_cache with
+    | Some s -> s
+    | None ->
+        let s = System.successors abstract_system state in
+        successor_cache := TMap.add state s !successor_cache;
+        s
+  in
+  (* Is [target] reachable from [source] in 1..k abstract steps? *)
+  let reachable_within k source target =
+    let rec expand frontier remaining =
+      if remaining = 0 then false
+      else
+        let next = List.concat_map successors frontier in
+        let next = List.sort_uniq Term.compare next in
+        if List.exists (Term.equal target) next then true
+        else expand next (remaining - 1)
+    in
+    expand [ source ] k
+  in
+  let edges_n = ref 0 and stutters = ref 0 and steps = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (source, rule, target) ->
+      incr edges_n;
+      let a = abstraction source and a' = abstraction target in
+      if Term.equal a a' then incr stutters
+      else if reachable_within max_abstract_steps a a' then incr steps
+      else
+        failures :=
+          {
+            source;
+            rule;
+            target;
+            reason =
+              Printf.sprintf
+                "abstract step %s -> %s not reachable within %d %s moves"
+                (Term.to_string a) (Term.to_string a') max_abstract_steps
+                (System.name abstract_system);
+          }
+          :: !failures)
+    edges;
+  {
+    edges = !edges_n;
+    stutters = !stutters;
+    steps = !steps;
+    failures = List.rev !failures;
+  }
+
+let holds report = report.failures = []
+
+let pp_report ppf report =
+  Format.fprintf ppf
+    "simulation: %d edges (%d stutters, %d abstract steps), %d failures"
+    report.edges report.stutters report.steps (List.length report.failures);
+  List.iteri
+    (fun i f ->
+      if i < 5 then
+        Format.fprintf ppf "@\n  [%s] %s" f.rule f.reason)
+    report.failures

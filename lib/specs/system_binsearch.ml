@@ -1,0 +1,324 @@
+open Tr_trs
+open Notation
+
+let wrap q p t i o w = Term.App ("BS", [ q; p; t; i; o; w ])
+
+let initial ~n ~data_budget =
+  wrap (initial_q ~n ~data_budget) (initial_p ~n) (node 0) empty_bag empty_bag
+    empty_bag
+
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+let rule_transfer =
+  Rule.make ~name:"transfer"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild (Term.Var "I")
+         (Term.Bag [ Term.Var "O"; msg (Term.Var "a") (Term.Var "c") (Term.Var "m") ])
+         Term.Wild)
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "c") (Term.Var "a") (Term.Var "m") ])
+         (Term.Var "O") Term.Wild)
+    ()
+
+let rule_receive =
+  Rule.make ~name:"receive"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") Term.Wild ])
+         bot
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ])
+         Term.Wild Term.Wild)
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") (Term.Var "I") Term.Wild Term.Wild)
+    ()
+
+(* Rule 4: rotation. The holder broadcasts, stamps the history with a
+   rot(x) circulation marker, and passes the token to its successor. *)
+let rule_rotate ~n =
+  Rule.make ~name:"rotate"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O") Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H2") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H2")) ])
+         Term.Wild)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" in
+           let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+           let h2 = Term.seq_append (Term.seq_append h d) (Term.rot x) in
+           [ ("H2", h2); ("y", node (forward ~n x 1)) ]))
+    ()
+
+(* Rule 5: a ready node traps on its own behalf and launches a search —
+   its history snapshot travels halfway across the ring. *)
+let rule_request ~n =
+  Rule.make ~name:"request"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild Term.Wild (Term.Var "O") (Term.Var "W"))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "O";
+              msg (Term.Var "x") (Term.Var "y")
+                (bsrch (Term.Var "s") (Term.Var "H") (tau_of (Term.Var "x"))) ])
+         (Term.Var "W2"))
+    ~guard:(fun s ->
+      let x = Subst.find_int s "x" in
+      n >= 2 && not (bag_mem (Subst.find_exn s "W") (went (node x) (Term.tau x))))
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" in
+           let w = Subst.find_exn s "W" in
+           [
+             ("y", node (forward ~n x (n / 2)));
+             ("s", Term.Int (n / 2));
+             ("W2", bag_add_unique w (went (node x) (Term.tau x)));
+           ]))
+    ()
+
+let direction_of s =
+  (* ⊂_C: compare the two histories projected onto rotation markers. If
+     the requester's snapshot is a prefix of ours, the token passed here
+     after passing the requester — chase it forward (+); otherwise it is
+     behind us — search backward (−). *)
+  let h = rot_projection (Subst.find_exn s "H") in
+  let hz = rot_projection (Subst.find_exn s "Hz") in
+  if Term.seq_is_prefix hz h then `Forward
+  else if Term.seq_is_prefix h hz then `Backward
+  else `Incomparable
+
+(* Rule 6, searching case: trap locally, halve the span, continue in the
+   direction the history comparison indicates. *)
+let rule_forward ~n =
+  Rule.make ~name:"forward"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild
+         (Term.Bag
+            [ Term.Var "I";
+              msg (Term.Var "x") (Term.Var "y")
+                (bsrch (Term.Var "s") (Term.Var "Hz") (tau_of (Term.Var "z"))) ])
+         (Term.Var "O") (Term.Var "W"))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild (Term.Var "I")
+         (Term.Bag
+            [ Term.Var "O";
+              msg (Term.Var "x") (Term.Var "u")
+                (bsrch (Term.Var "s2") (Term.Var "Hz") (tau_of (Term.Var "z"))) ])
+         (Term.Var "W2"))
+    ~guard:(fun s ->
+      Subst.find_int s "s" >= 2 && direction_of s <> `Incomparable)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" in
+           let span = Subst.find_int s "s" in
+           let z = Subst.find_exn s "z" in
+           let w = Subst.find_exn s "W" in
+           let jump =
+             match direction_of s with
+             | `Forward -> span / 2
+             | `Backward -> -(span / 2)
+             | `Incomparable -> assert false
+           in
+           [
+             ("u", node (forward ~n x jump));
+             ("s2", Term.Int (span / 2));
+             ("W2", bag_add_unique w (went (node x) (tau_of z)));
+           ]))
+    ()
+
+(* Rule 6, base case: the span is exhausted — the search stops here and
+   only the trap remains; the rotating token will hit it. *)
+let rule_absorb =
+  Rule.make ~name:"absorb"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "I";
+              msg (Term.Var "x") (Term.Var "y")
+                (bsrch (Term.Var "s") (Term.Var "Hz") (tau_of (Term.Var "z"))) ])
+         Term.Wild (Term.Var "W"))
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild (Term.Var "I") Term.Wild
+         (Term.Var "W2"))
+    ~guard:(fun s -> Subst.find_int s "s" < 2)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" in
+           let z = Subst.find_exn s "z" in
+           let w = Subst.find_exn s "W" in
+           [ ("W2", bag_add_unique w (went (node x) (tau_of z))) ]))
+    ()
+
+(* Rule 7: a trapped holder lends the token to the requester; the
+   decorated destination (the paper's ŷ) is the loan payload, to be
+   returned upon use. *)
+let rule_serve =
+  Rule.make ~name:"serve"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O")
+         (Term.Bag [ Term.Var "W"; went (Term.Var "x") (tau_of (Term.Var "y")) ]))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (loan (Term.Var "H")) ])
+         (Term.Var "W"))
+    ~guard:(fun s -> Subst.find_int s "x" <> Subst.find_int s "y")
+    ()
+
+(* Rule 8: the borrower broadcasts with the loaned token and immediately
+   returns it to the lender, which resumes the rotation. *)
+let rule_use_return =
+  Rule.make ~name:"use_return"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") Term.Wild ])
+         bot
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "x") (Term.Var "w") (loan (Term.Var "H")) ])
+         (Term.Var "O") Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H2") ])
+         bot (Term.Var "I")
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "w") (tok (Term.Var "H2")) ])
+         Term.Wild)
+    ~extend:
+      (extend_with (fun s ->
+           let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+           [ ("H2", Term.seq_append h d) ]))
+    ()
+
+let system ~n =
+  System.make ~name:"BinarySearch"
+    ~rules:
+      [ rule_new; rule_transfer; rule_receive; rule_rotate ~n; rule_request ~n;
+        rule_forward ~n; rule_absorb; rule_serve; rule_use_return ]
+
+let local_histories = function
+  | Term.App ("BS", [ _; Term.Bag entries; _; _; _; _ ]) ->
+      List.filter_map
+        (function
+          | Term.App ("pent", [ Term.Int y; h ]) -> Some (y, h)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_binsearch.local_histories: not a BS state: %s"
+           (Term.to_string other))
+
+let holder = function
+  | Term.App ("BS", [ _; _; Term.Int x; _; _; _ ]) -> Some x
+  | Term.App ("BS", [ _; _; Term.Const "bot"; _; _; _ ]) -> None
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_binsearch.holder: not a BS state: %s"
+           (Term.to_string other))
+
+let traps = function
+  | Term.App ("BS", [ _; _; _; _; _; Term.Bag traps ]) ->
+      List.filter_map
+        (function
+          | Term.App ("went", [ Term.Int x; Term.App ("tau", [ Term.Int z ]) ]) ->
+              Some (x, z)
+          | _ -> None)
+        traps
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_binsearch.traps: not a BS state: %s"
+           (Term.to_string other))
+
+let count_tokens_in_bag = function
+  | Term.Bag items ->
+      List.length
+        (List.filter
+           (function
+             | Term.App ("msg", [ _; _; Term.App (("tok" | "loan"), _) ]) -> true
+             | _ -> false)
+           items)
+  | _ -> 0
+
+let token_count = function
+  | Term.App ("BS", [ _; _; t; i; o; _ ]) ->
+      let held = match t with Term.Int _ -> 1 | _ -> 0 in
+      held + count_tokens_in_bag i + count_tokens_in_bag o
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_binsearch.token_count: not a BS state: %s"
+           (Term.to_string other))
+
+let strip_rot_history h = data_projection h
+
+let rec strip_rot = function
+  | Term.Seq _ as h -> strip_rot_history h
+  | Term.App (f, args) -> Term.App (f, List.map strip_rot args)
+  | Term.Bag items -> Term.bag (List.map strip_rot items)
+  | (Term.Const _ | Term.Int _ | Term.Var _ | Term.Wild) as t -> t
+
+let erase_and_translate_messages = function
+  | Term.Bag items ->
+      Term.bag
+        (List.filter_map
+           (function
+             | Term.App ("msg", [ _; _; Term.App ("bsrch", _) ]) -> None
+             | Term.App ("msg", [ a; b; Term.App ("loan", [ h ]) ]) ->
+                 Some (msg a b (tok h))
+             | other -> Some other)
+           items)
+  | other -> other
+
+let to_msgpass = function
+  | Term.App ("BS", [ q; p; t; i; o; _w ]) ->
+      Term.canonicalize
+        (strip_rot
+           (Term.App
+              ( "MP",
+                [ q; p; t; erase_and_translate_messages i;
+                  erase_and_translate_messages o ] )))
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_binsearch.to_msgpass: not a BS state: %s"
+           (Term.to_string other))

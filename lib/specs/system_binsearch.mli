@@ -1,0 +1,49 @@
+(** System BinarySearch — ring rotation + binary token search
+    (paper §4.2, Figure 7; the headline contribution).
+
+    State: [BS(Q, P, T, I, O, W)]. The eight rules:
+
+    + [new] — fresh datum (rule 1);
+    + [transfer] — message fabric (rule 2);
+    + [receive] — take the token in (rule 3);
+    + [rotate] — the holder broadcasts and passes the token to its ring
+      successor, appending a [rot(x)] circulation marker to the history
+      (rule 4);
+    + [request] — a ready node traps locally and sends a search carrying
+      its history snapshot halfway across the ring (rule 5);
+    + [forward] — a searched node traps for the requester and forwards the
+      search half the remaining span, clockwise or counter-clockwise
+      according to the [⊂_C] history comparison (rule 6; {!Figure} 8) —
+      realized here as prefix comparison of the histories projected onto
+      [rot] markers. [absorb] is the span-exhausted base case;
+    + [serve] — a trapped holder lends the token ([loan(H)], the paper's
+      decorated ŷ) to the requester (rule 7);
+    + [use_return] — the borrower broadcasts and immediately returns the
+      token to the lender, which resumes rotation where it was intercepted
+      (rule 8).
+
+    Search spans: [request] jumps [n/2] and carries span [n/2]; [forward]
+    receiving span [s ≥ 2] jumps [±s/2] and carries [s/2]; a span below 2
+    is absorbed. Successive jumps [n/2, n/4, …, 1] give Lemma 6's
+    O(log N) forwards.
+
+    The same two finiteness restrictions as System Search apply (set
+    semantics for traps, single outstanding request per node). *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+val initial : n:int -> data_budget:int -> Term.t
+val local_histories : Term.t -> (int * Term.t) list
+val holder : Term.t -> int option
+val traps : Term.t -> (int * int) list
+
+val token_count : Term.t -> int
+(** Number of tokens in the state: [T = x] plus [tok]/[loan] payloads in
+    [I ∪ O]. The uniqueness invariant says this is always exactly 1. *)
+
+val to_msgpass : Term.t -> Term.t
+(** Refinement mapping (Theorem 1): forget [W], erase search messages,
+    strip [rot] markers from all histories, and read [loan(H)] as the
+    token in transit ([tok(H)]). The image is a Message-Passing-with-pass
+    state. *)

@@ -1,0 +1,190 @@
+open Tr_trs
+open Notation
+
+let wrap q p t i o = Term.App ("MP", [ q; p; t; i; o ])
+
+let initial ~n ~data_budget =
+  wrap (initial_q ~n ~data_budget) (initial_p ~n) (node 0) empty_bag empty_bag
+
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+(* Rule 2: the network moves a message from the sender's output set to the
+   destination's input set. *)
+let rule_transfer =
+  Rule.make ~name:"transfer"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild (Term.Var "I")
+         (Term.Bag [ Term.Var "O"; msg (Term.Var "a") (Term.Var "c") (Term.Var "m") ]))
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "c") (Term.Var "a") (Term.Var "m") ])
+         (Term.Var "O"))
+    ()
+
+(* Rule 3 / 3': the holder broadcasts and sends the token away. *)
+let rule_send ~choose_y ~name =
+  Rule.make ~name
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O"))
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H2") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H2")) ]))
+    ~extend:
+      (compose_extends
+         [
+           extend_with (fun s ->
+               let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+               [ ("H2", Term.seq_append h d) ]);
+           (fun s -> extend_each "y" (fun s' -> choose_y s') s);
+         ])
+    ()
+
+(* Rule 4: a node receives the token and adopts the carried history. *)
+let rule_receive =
+  Rule.make ~name:"receive"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") Term.Wild ])
+         bot
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ])
+         Term.Wild)
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") (Term.Var "I") Term.Wild)
+    ()
+
+(* Token pass without broadcast: the holder relinquishes the token,
+   leaving its pending data untouched. Systems Search and BinarySearch
+   need this move (their rule 7 forwards the token to a trapped requester
+   without broadcasting), so the abstraction target of their refinement
+   proofs is Message-Passing extended with this rule. It is itself safe:
+   it maps to an S1 stutter (no history changes). *)
+let rule_pass ~choose_y =
+  Rule.make ~name:"pass"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O"))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ]))
+    ~extend:(fun s -> extend_each "y" choose_y s)
+    ()
+
+let any_node ~n _subst = List.map node (all_nodes ~n)
+
+let ring_successor ~n subst =
+  let x = Subst.find_int subst "x" in
+  [ node (forward ~n x 1) ]
+
+let system ~n =
+  System.make ~name:"Message-Passing"
+    ~rules:
+      [ rule_new; rule_transfer; rule_send ~choose_y:(any_node ~n) ~name:"send";
+        rule_receive ]
+
+let system_ring ~n =
+  System.make ~name:"Message-Passing-ring"
+    ~rules:
+      [ rule_new; rule_transfer;
+        rule_send ~choose_y:(ring_successor ~n) ~name:"send'"; rule_receive ]
+
+let system_with_pass ~n =
+  System.make ~name:"Message-Passing-pass"
+    ~rules:
+      [ rule_new; rule_transfer; rule_send ~choose_y:(any_node ~n) ~name:"send";
+        rule_receive; rule_pass ~choose_y:(any_node ~n) ]
+
+let local_histories = function
+  | Term.App ("MP", [ _; Term.Bag entries; _; _; _ ]) ->
+      List.filter_map
+        (function
+          | Term.App ("pent", [ Term.Int y; h ]) -> Some (y, h)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_msgpass.local_histories: not an MP state: %s"
+           (Term.to_string other))
+
+let holder = function
+  | Term.App ("MP", [ _; _; Term.Int x; _; _ ]) -> Some x
+  | Term.App ("MP", [ _; _; Term.Const "bot"; _; _ ]) -> None
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_msgpass.holder: not an MP state: %s"
+           (Term.to_string other))
+
+let tokens_in_bag = function
+  | Term.Bag items ->
+      List.filter_map
+        (function
+          | Term.App ("msg", [ Term.Int a; Term.Int b; Term.App ("tok", [ h ]) ]) ->
+              Some (a, b, h)
+          | _ -> None)
+        items
+  | _ -> []
+
+let in_flight_tokens = function
+  | Term.App ("MP", [ _; _; _; i; o ]) -> tokens_in_bag i @ tokens_in_bag o
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_msgpass.in_flight_tokens: not an MP state: %s"
+           (Term.to_string other))
+
+(* The drained-state mapping of Lemma 3. The abstract global history is
+   the longest history present anywhere in the state — every history in a
+   reachable Message-Passing state is a prefix of it. The abstraction
+   target is System S1, whose [copy] rule mirrors receive-time updates of
+   local prefix histories. *)
+let to_s1 state =
+  match state with
+  | Term.App ("MP", [ q; p; _; _; _ ]) ->
+      let histories =
+        List.map snd (local_histories state)
+        @ List.map (fun (_, _, h) -> h) (in_flight_tokens state)
+      in
+      let longest =
+        List.fold_left
+          (fun best h ->
+            match (best, h) with
+            | Term.Seq bs, Term.Seq hs ->
+                if List.length hs > List.length bs then h else best
+            | _ -> best)
+          empty_history histories
+      in
+      Term.canonicalize (Term.App ("S1", [ q; longest; p ]))
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_msgpass.to_s1: not an MP state: %s"
+           (Term.to_string other))

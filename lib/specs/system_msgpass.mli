@@ -1,0 +1,46 @@
+(** System Message-Passing — no global state (paper §3.4, Figure 5).
+
+    State: [MP(Q, P, T, I, O)]. The history travels inside the token
+    message [tok(H)]; [I]/[O] are the distributed input/output message
+    sets; [T] is [Int x] at the holder or [bot] while the token is in
+    transit. Rules:
+    - [new] — a fresh datum (as in every system);
+    - [transfer] — the paper's rule 2, moving [msg(x, y, m)] from [O] to
+      [I] as [msg(y, x, m)];
+    - [send] — the paper's rule 3: the holder broadcasts (appends to the
+      history it carries), refreshes its prefix history, and sends the
+      token to an {e arbitrary} node;
+    - [receive] — the paper's rule 4: a node takes the token in, adopting
+      the carried history.
+
+    {!system_ring} replaces [send] by the paper's rule 3′ ([y = x⁺¹]),
+    which forces circular rotation and yields Lemma 4's O(N)
+    responsiveness. *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+val system_ring : n:int -> System.t
+
+val system_with_pass : n:int -> System.t
+(** [system] plus a [pass] rule (token handed on without broadcasting).
+    Systems Search and BinarySearch forward the token to trapped
+    requesters without broadcasting, so their refinement proofs target
+    this extension; the extension itself is safe ([pass] is an S1
+    stutter). *)
+
+val initial : n:int -> data_budget:int -> Term.t
+val local_histories : Term.t -> (int * Term.t) list
+
+val holder : Term.t -> int option
+(** [Some x] when [T = x], [None] while the token is in transit. *)
+
+val in_flight_tokens : Term.t -> (int * int * Term.t) list
+(** [(sender-or-receiver, peer, history)] of every [tok] payload in
+    [I ∪ O]; used by the token-uniqueness invariant and the refinement
+    mapping. *)
+
+val to_s1 : Term.t -> Term.t
+(** Lemma 3's drained-state mapping, targeting System S1: the abstract
+    global history is the maximal history present anywhere in the state;
+    the token field and message sets are forgotten. *)

@@ -1,0 +1,67 @@
+open Tr_trs
+open Notation
+
+let wrap q h = Term.App ("S", [ q; h ])
+
+let initial ~n ~data_budget = wrap (initial_q ~n ~data_budget) empty_history
+
+(* Rule 1: a node decides to broadcast — a fresh datum is appended to its
+   pending data. The budget [b] counts down and names the datum, keeping
+   exploration finite and data distinct. *)
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+(* Rule 2: some node's pending data is broadcast — appended to the global
+   history — and its pending data resets to the empty datum (φ). *)
+let rule_broadcast =
+  Rule.make ~name:"broadcast"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Var "H"))
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.App ("append", [ Term.Var "H"; Term.Var "d" ])))
+    ()
+
+let system ~n =
+  ignore n;
+  System.make ~name:"S" ~rules:[ rule_new; rule_broadcast ]
+
+let global_history = function
+  | Term.App ("S", [ _; h ]) -> h
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_s.global_history: not an S state: %s"
+           (Term.to_string other))
+
+let pending_data = function
+  | Term.App ("S", [ Term.Bag entries; _ ]) ->
+      List.filter_map
+        (function
+          | Term.App ("qent", [ Term.Int x; d; _ ]) -> Some (x, d)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_s.pending_data: not an S state: %s"
+           (Term.to_string other))

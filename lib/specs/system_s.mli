@@ -1,0 +1,18 @@
+(** System S — the base, abstract protocol (paper §3.1, Figure 2).
+
+    State: [S(Q, H)]. [Q] holds one [qent(x, d_x, b_x)] per node; [H] is
+    the global broadcast history. Rule [new] lets a node append a fresh
+    datum to its pending data; rule [broadcast] appends some node's
+    pending data to [H]. Safety (the prefix property) is immediate: [H]
+    only ever grows by appending. *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+val initial : n:int -> data_budget:int -> Term.t
+
+val global_history : Term.t -> Term.t
+(** The [H] field. @raise Invalid_argument on a non-[S] term. *)
+
+val pending_data : Term.t -> (int * Term.t) list
+(** [(x, d_x)] for every [Q] entry. *)

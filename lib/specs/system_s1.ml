@@ -1,0 +1,83 @@
+open Tr_trs
+open Notation
+
+let wrap q h p = Term.App ("S1", [ q; h; p ])
+
+let initial ~n ~data_budget =
+  wrap (initial_q ~n ~data_budget) empty_history (initial_p ~n)
+
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+let rule_broadcast =
+  Rule.make ~name:"broadcast"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Var "H") Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.App ("append", [ Term.Var "H"; Term.Var "d" ]))
+         Term.Wild)
+    ()
+
+(* Rule 3: at any time, any node may refresh its local prefix history from
+   the global history. *)
+let rule_copy =
+  Rule.make ~name:"copy"
+    ~lhs:
+      (wrap Term.Wild (Term.Var "H")
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "y") Term.Wild ]))
+    ~rhs:
+      (wrap Term.Wild (Term.Var "H")
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "y") (Term.Var "H") ]))
+    ()
+
+let system ~n =
+  ignore n;
+  System.make ~name:"S1" ~rules:[ rule_new; rule_broadcast; rule_copy ]
+
+let global_history = function
+  | Term.App ("S1", [ _; h; _ ]) -> h
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_s1.global_history: not an S1 state: %s"
+           (Term.to_string other))
+
+let local_histories = function
+  | Term.App ("S1", [ _; _; Term.Bag entries ]) ->
+      List.filter_map
+        (function
+          | Term.App ("pent", [ Term.Int y; h ]) -> Some (y, h)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_s1.local_histories: not an S1 state: %s"
+           (Term.to_string other))
+
+let to_s = function
+  | Term.App ("S1", [ q; h; _ ]) -> Term.App ("S", [ q; h ])
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_s1.to_s: not an S1 state: %s"
+           (Term.to_string other))

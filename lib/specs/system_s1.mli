@@ -1,0 +1,18 @@
+(** System S1 — local prefix histories (paper §3.2, Figure 3).
+
+    State: [S1(Q, H, P)]. Rules [new] and [broadcast] are System S's with
+    an extra pass-through field; rule [copy] copies the global history
+    into some node's local prefix history, at any time and in any order.
+    Lemma 1: S1 satisfies the prefix property (each local history is a
+    prefix of [H]). *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+val initial : n:int -> data_budget:int -> Term.t
+val global_history : Term.t -> Term.t
+val local_histories : Term.t -> (int * Term.t) list
+(** [(y, H_y)] for every [P] entry. *)
+
+val to_s : Term.t -> Term.t
+(** The refinement mapping of Lemma 1: forget [P]. *)

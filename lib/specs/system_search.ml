@@ -1,0 +1,267 @@
+open Tr_trs
+open Notation
+
+let wrap q p t i o w = Term.App ("SR", [ q; p; t; i; o; w ])
+
+let initial ~n ~data_budget =
+  wrap (initial_q ~n ~data_budget) (initial_p ~n) (node 0) empty_bag empty_bag
+    empty_bag
+
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild Term.Wild Term.Wild Term.Wild Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+let rule_transfer =
+  Rule.make ~name:"transfer"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild (Term.Var "I")
+         (Term.Bag [ Term.Var "O"; msg (Term.Var "a") (Term.Var "c") (Term.Var "m") ])
+         Term.Wild)
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "c") (Term.Var "a") (Term.Var "m") ])
+         (Term.Var "O") Term.Wild)
+    ()
+
+let rule_receive =
+  Rule.make ~name:"receive"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") Term.Wild ])
+         bot
+         (Term.Bag [ Term.Var "I"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ])
+         Term.Wild Term.Wild)
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") (Term.Var "I") Term.Wild Term.Wild)
+    ()
+
+let rule_send ~n =
+  Rule.make ~name:"send"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O") Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H2") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H2")) ])
+         Term.Wild)
+    ~extend:
+      (compose_extends
+         [
+           extend_with (fun s ->
+               let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+               [ ("H2", Term.seq_append h d) ]);
+           extend_each "y" (fun _ -> List.map node (all_nodes ~n));
+         ])
+    ()
+
+(* Rule 5: a node generates interest — it traps locally on its own behalf
+   and sends a search message to some other node. Guarded so a node has at
+   most one outstanding request (§4.4). [choose] picks the candidate
+   destinations: any other node in the unrestricted system, the cyclic
+   successor in Lemma 5's restriction. *)
+let rule_request_with ~choose =
+  Rule.make ~name:"request"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild (Term.Var "O") (Term.Var "W"))
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "O";
+              msg (Term.Var "x") (Term.Var "y") (srch (tau_of (Term.Var "x"))) ])
+         (Term.Var "W2"))
+    ~guard:(fun s ->
+      let x = Subst.find_int s "x" in
+      not (bag_mem (Subst.find_exn s "W") (went (node x) (Term.tau x))))
+    ~extend:
+      (compose_extends
+         [
+           extend_with (fun s ->
+               let x = Subst.find_int s "x" in
+               let w = Subst.find_exn s "W" in
+               [ ("W2", bag_add_unique w (went (node x) (Term.tau x))) ]);
+           extend_each "y" choose;
+         ])
+    ()
+
+(* Rule 6: a node receiving a search traps locally for the requester and
+   asks some other node. *)
+let rule_forward_with ~choose =
+  Rule.make ~name:"forward"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "I";
+              msg (Term.Var "x") (Term.Var "y") (srch (tau_of (Term.Var "z"))) ])
+         (Term.Var "O") (Term.Var "W"))
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild (Term.Var "I")
+         (Term.Bag
+            [ Term.Var "O";
+              msg (Term.Var "x") (Term.Var "u") (srch (tau_of (Term.Var "z"))) ])
+         (Term.Var "W2"))
+    ~extend:
+      (compose_extends
+         [
+           extend_with (fun s ->
+               let x = Subst.find_int s "x" in
+               let z = Subst.find_exn s "z" in
+               let w = Subst.find_exn s "W" in
+               [ ("W2", bag_add_unique w (went (node x) (tau_of z))) ]);
+           extend_each "u" choose;
+         ])
+    ()
+
+let choose_any_other ~n s =
+  let x = Subst.find_int s "x" in
+  List.filter_map
+    (fun y -> if y = x then None else Some (node y))
+    (all_nodes ~n)
+
+let choose_successor ~n s =
+  let x = Subst.find_int s "x" in
+  [ node (forward ~n x 1) ]
+
+let rule_request ~n = rule_request_with ~choose:(choose_any_other ~n)
+let rule_forward ~n = rule_forward_with ~choose:(choose_any_other ~n)
+
+(* Rule 7: a trapped token holder removes the trap and sends the token to
+   the trapped requester (no broadcast). *)
+let rule_serve =
+  Rule.make ~name:"serve"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         (Term.Var "x") Term.Wild (Term.Var "O")
+         (Term.Bag [ Term.Var "W"; went (Term.Var "x") (tau_of (Term.Var "y")) ]))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         bot Term.Wild
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ])
+         (Term.Var "W"))
+    ~guard:(fun s -> Subst.find_int s "x" <> Subst.find_int s "y")
+    ()
+
+let system ~n =
+  System.make ~name:"Search"
+    ~rules:
+      [ rule_new; rule_transfer; rule_receive; rule_send ~n; rule_request ~n;
+        rule_forward ~n; rule_serve ]
+
+(* Lemma 5's restrictions: the token rotates (rule 3' replaces the
+   arbitrary send), and search messages traverse the ring cyclically
+   (y = x+1 in rule 5, u = x+1 in rule 6). *)
+let system_cyclic ~n =
+  let send_ring =
+    let open Term in
+    Rule.make ~name:"send'"
+      ~lhs:
+        (wrap
+           (Bag [ Var "Q"; qent (Var "x") (Var "d") (Var "b") ])
+           (Bag [ Var "P"; pent (Var "x") (Var "H") ])
+           (Var "x") Wild (Var "O") Wild)
+      ~rhs:
+        (wrap
+           (Bag [ Var "Q"; qent (Var "x") empty_history (Var "b") ])
+           (Bag [ Var "P"; pent (Var "x") (Var "H2") ])
+           bot Wild
+           (Bag [ Var "O"; msg (Var "x") (Var "y") (tok (Var "H2")) ])
+           Wild)
+      ~extend:
+        (compose_extends
+           [
+             extend_with (fun s ->
+                 let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+                 [ ("H2", Term.seq_append h d) ]);
+             (fun s -> extend_each "y" (choose_successor ~n) s);
+           ])
+      ()
+  in
+  System.make ~name:"Search-cyclic"
+    ~rules:
+      [ rule_new; rule_transfer; rule_receive; send_ring;
+        rule_request_with ~choose:(choose_successor ~n);
+        rule_forward_with ~choose:(choose_successor ~n); rule_serve ]
+
+let local_histories = function
+  | Term.App ("SR", [ _; Term.Bag entries; _; _; _; _ ]) ->
+      List.filter_map
+        (function
+          | Term.App ("pent", [ Term.Int y; h ]) -> Some (y, h)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_search.local_histories: not an SR state: %s"
+           (Term.to_string other))
+
+let holder = function
+  | Term.App ("SR", [ _; _; Term.Int x; _; _; _ ]) -> Some x
+  | Term.App ("SR", [ _; _; Term.Const "bot"; _; _; _ ]) -> None
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_search.holder: not an SR state: %s"
+           (Term.to_string other))
+
+let traps = function
+  | Term.App ("SR", [ _; _; _; _; _; Term.Bag traps ]) ->
+      List.filter_map
+        (function
+          | Term.App ("went", [ Term.Int x; Term.App ("tau", [ Term.Int z ]) ]) ->
+              Some (x, z)
+          | _ -> None)
+        traps
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_search.traps: not an SR state: %s"
+           (Term.to_string other))
+
+let erase_search_messages = function
+  | Term.Bag items ->
+      Term.bag
+        (List.filter
+           (function
+             | Term.App ("msg", [ _; _; Term.App ("srch", _) ]) -> false
+             | _ -> true)
+           items)
+  | other -> other
+
+let to_msgpass = function
+  | Term.App ("SR", [ q; p; t; i; o; _w ]) ->
+      Term.canonicalize
+        (Term.App
+           ("MP", [ q; p; t; erase_search_messages i; erase_search_messages o ]))
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_search.to_msgpass: not an SR state: %s"
+           (Term.to_string other))

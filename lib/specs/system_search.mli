@@ -1,0 +1,34 @@
+(** System Search — non-deterministic token search (paper §4.1, Figure 6).
+
+    State: [SR(Q, P, T, I, O, W)]. On top of Message-Passing, a ready
+    node may announce interest: rule [request] sets a local trap τ_x and
+    sends a search message to some other node; rule [forward] makes a node
+    receiving a search set a trap locally and pass the search on; rule
+    [serve] makes a trapped token holder hand the token to the trapped
+    requester (without broadcasting).
+
+    Two restrictions keep exploration finite, both sanctioned by the
+    paper: traps have set semantics (a duplicate trap is not re-added),
+    and a node with its own trap pending does not issue a second request —
+    §4.4's "single outstanding request" throttling. Neither affects
+    safety: both only remove behaviours. *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+
+val system_cyclic : n:int -> System.t
+(** Lemma 5's restriction: rule 4 replaced by the ring send (3′) and
+    rules 5/6 send to the cyclic successor only. Its reachable states are
+    a subset of {!system}'s, giving the O(N) responsiveness argument its
+    safety half for free. *)
+
+val initial : n:int -> data_budget:int -> Term.t
+val local_histories : Term.t -> (int * Term.t) list
+val holder : Term.t -> int option
+val traps : Term.t -> (int * int) list
+(** [(node, requester)] for each trap in [W]. *)
+
+val to_msgpass : Term.t -> Term.t
+(** Refinement mapping (Lemma 5's safety direction): forget [W], erase
+    search messages; the image is a Message-Passing-with-pass state. *)

@@ -1,0 +1,89 @@
+open Tr_trs
+open Notation
+
+let wrap q h p t = Term.App ("TK", [ q; h; p; t ])
+
+let initial ~n ~data_budget =
+  wrap (initial_q ~n ~data_budget) empty_history (initial_p ~n) (node 0)
+
+let rule_new =
+  Rule.make ~name:"new"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         Term.Wild Term.Wild Term.Wild)
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d2") (Term.Var "b2") ])
+         Term.Wild Term.Wild Term.Wild)
+    ~guard:(fun s -> Subst.find_int s "b" > 0)
+    ~extend:
+      (extend_with (fun s ->
+           let x = Subst.find_int s "x" and b = Subst.find_int s "b" in
+           let d = Subst.find_exn s "d" in
+           [
+             ("d2", Term.seq_append d (Term.datum x b));
+             ("b2", Term.Int (b - 1));
+           ]))
+    ()
+
+(* Rule 2: only the token holder broadcasts; its local prefix history is
+   refreshed in the same step, and the token moves to an arbitrary node. *)
+let rule_broadcast ~n =
+  Rule.make ~name:"broadcast"
+    ~lhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") (Term.Var "d") (Term.Var "b") ])
+         (Term.Var "H")
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") Term.Wild ])
+         (Term.Var "x"))
+    ~rhs:
+      (wrap
+         (Term.Bag [ Term.Var "Q"; qent (Term.Var "x") empty_history (Term.Var "b") ])
+         (Term.Var "H2")
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H2") ])
+         (Term.Var "y"))
+    ~extend:
+      (compose_extends
+         [
+           extend_with (fun s ->
+               let h = Subst.find_exn s "H" and d = Subst.find_exn s "d" in
+               [ ("H2", Term.seq_append h d) ]);
+           extend_each "y" (fun _ -> List.map node (all_nodes ~n));
+         ])
+    ()
+
+let system ~n = System.make ~name:"Token" ~rules:[ rule_new; rule_broadcast ~n ]
+
+let global_history = function
+  | Term.App ("TK", [ _; h; _; _ ]) -> h
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_token.global_history: not a TK state: %s"
+           (Term.to_string other))
+
+let local_histories = function
+  | Term.App ("TK", [ _; _; Term.Bag entries; _ ]) ->
+      List.filter_map
+        (function
+          | Term.App ("pent", [ Term.Int y; h ]) -> Some (y, h)
+          | _ -> None)
+        entries
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_token.local_histories: not a TK state: %s"
+           (Term.to_string other))
+
+let holder = function
+  | Term.App ("TK", [ _; _; _; Term.Int x ]) -> x
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_token.holder: not a TK state: %s"
+           (Term.to_string other))
+
+let to_s1 = function
+  | Term.App ("TK", [ q; h; p; _ ]) -> Term.App ("S1", [ q; h; p ])
+  | other ->
+      invalid_arg
+        (Printf.sprintf "System_token.to_s1: not a TK state: %s"
+           (Term.to_string other))

@@ -1,0 +1,21 @@
+(** System Token — broadcast gated by token possession (paper §3.3,
+    Figure 4).
+
+    State: [TK(Q, H, P, T)]. The token field [T] names the unique holder;
+    rule [broadcast] (the paper's rule 2, a fusion of S1's rules 2 and 3)
+    fires only at the holder, appends its data to [H], refreshes its local
+    history, and passes the token to an arbitrary node. The reachable
+    states are a subset of S1's, hence Lemma 2 (prefix property). *)
+
+open Tr_trs
+
+val system : n:int -> System.t
+val initial : n:int -> data_budget:int -> Term.t
+val global_history : Term.t -> Term.t
+val local_histories : Term.t -> (int * Term.t) list
+
+val holder : Term.t -> int
+(** The node currently holding the token. *)
+
+val to_s1 : Term.t -> Term.t
+(** The refinement mapping of Lemma 2: forget [T]. *)

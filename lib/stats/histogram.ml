@@ -1,0 +1,75 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    (* Guard against float rounding placing x in a phantom bin. *)
+    let i = Stdlib.min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_many t xs = List.iter (add t) xs
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_count: index out of range";
+  t.counts.(i)
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_bounds: index out of range";
+  let lo_i = t.lo +. (float_of_int i *. t.width) in
+  (lo_i, lo_i +. t.width)
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let mode_bin t =
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > !best_count then begin
+        best := i;
+        best_count := c
+      end)
+    t.counts;
+  !best
+
+let pp ppf t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  if t.underflow > 0 then
+    Format.fprintf ppf "  < %-8.4g %6d@\n" t.lo t.underflow;
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo_i, hi_i = bin_bounds t i in
+        let bar = String.make (c * 40 / peak) '#' in
+        Format.fprintf ppf "  [%-8.4g %-8.4g) %6d %s@\n" lo_i hi_i c bar
+      end)
+    t.counts;
+  if t.overflow > 0 then Format.fprintf ppf "  >=%-8.4g %6d@\n" t.hi t.overflow

@@ -1,0 +1,31 @@
+(** Fixed-width binned histograms.
+
+    Bins partition [\[lo, hi)] into [bins] equal intervals; observations
+    below [lo] or at/above [hi] land in dedicated underflow/overflow
+    counters so no sample is silently dropped. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins < 1]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float list -> unit
+val count : t -> int
+(** Total observations including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] observations in bin [i]; bins are indexed from 0.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val bin_bounds : t -> int -> float * float
+(** Half-open bounds [(lo_i, hi_i)] of bin [i]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val mode_bin : t -> int
+(** Index of the fullest bin (first one on ties); [-1] if all bins empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line ASCII bar rendering, one row per non-empty bin. *)

@@ -1,0 +1,90 @@
+type scale = Linear | Log
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform = function
+  | Linear -> fun v -> Some v
+  | Log -> fun v -> if v > 0.0 then Some (log v) else None
+
+let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear)
+    ?(x_label = "x") ?(y_label = "y") series_list =
+  let tx = transform x_scale and ty = transform y_scale in
+  let points =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (x, y) ->
+            match (tx x, ty y) with
+            | Some x', Some y' -> Some (x', y', x, y)
+            | _ -> None)
+          (Series.points s))
+      series_list
+  in
+  if points = [] then "(empty plot)\n"
+  else begin
+    let xs = List.map (fun (x, _, _, _) -> x) points in
+    let ys = List.map (fun (_, y, _, _) -> y) points in
+    let fold f = function [] -> nan | h :: t -> List.fold_left f h t in
+    let x_min = fold Float.min xs and x_max = fold Float.max xs in
+    let y_min = fold Float.min ys and y_max = fold Float.max ys in
+    let raw_xs = List.map (fun (_, _, x, _) -> x) points in
+    let raw_ys = List.map (fun (_, _, _, y) -> y) points in
+    let rx_min = fold Float.min raw_xs and rx_max = fold Float.max raw_xs in
+    let ry_min = fold Float.min raw_ys and ry_max = fold Float.max raw_ys in
+    let span lo hi = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+    let x_span = span x_min x_max and y_span = span y_min y_max in
+    let grid = Array.make_matrix height width ' ' in
+    let place glyph x y =
+      let col =
+        int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+      in
+      let row =
+        height - 1
+        - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+      in
+      grid.(row).(col) <- glyph
+    in
+    (* Draw in reverse so that on collisions the earlier (primary)
+       series' glyph wins. *)
+    let indexed = List.mapi (fun i s -> (i, s)) series_list in
+    List.iter
+      (fun (i, s) ->
+        let glyph = glyphs.(i mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            match (tx x, ty y) with
+            | Some x', Some y' -> place glyph x' y'
+            | _ -> ())
+          (Series.points s))
+      (List.rev indexed);
+    let buffer = Buffer.create ((width + 8) * (height + 4)) in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s (%s%g .. %g)\n" y_label
+         (match y_scale with Log -> "log, " | Linear -> "")
+         ry_min ry_max);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buffer "  |";
+        Array.iter (Buffer.add_char buffer) row;
+        Buffer.add_char buffer '\n')
+      grid;
+    Buffer.add_string buffer "  +";
+    Buffer.add_string buffer (String.make width '-');
+    Buffer.add_char buffer '\n';
+    Buffer.add_string buffer
+      (Printf.sprintf "   %s: %s%g .. %g\n" x_label
+         (match x_scale with Log -> "log, " | Linear -> "")
+         rx_min rx_max);
+    Buffer.add_string buffer "   legend:";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buffer
+          (Printf.sprintf " %c=%s" glyphs.(i mod Array.length glyphs) (Series.name s)))
+      series_list;
+    Buffer.add_char buffer '\n';
+    Buffer.contents buffer
+  end
+
+let pp ?width ?height ?x_scale ?y_scale ?x_label ?y_label ppf series_list =
+  Format.pp_print_string ppf
+    (render ?width ?height ?x_scale ?y_scale ?x_label ?y_label series_list)

@@ -1,0 +1,35 @@
+(** ASCII line plots for sweep series.
+
+    Renders a set of {!Series} into a fixed-size character grid — enough
+    to eyeball the shapes the paper's figures show (saturation, crossover,
+    log-vs-linear growth) straight from the bench output. Each series gets
+    a distinct glyph; colliding points show the glyph of the later series
+    in the argument list. *)
+
+type scale = Linear | Log
+(** Log scales require strictly positive values on that axis; offending
+    points are skipped. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Series.t list ->
+  string
+(** Defaults: 64×20 grid, linear axes. Empty input or all-empty series
+    yield a one-line placeholder. Output includes a legend line mapping
+    glyphs to series names and min/max annotations on both axes. *)
+
+val pp :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Format.formatter ->
+  Series.t list ->
+  unit

@@ -1,0 +1,59 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 16 0.0; len = 0; sorted = true }
+
+let ensure_capacity t =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * Array.length t.samples) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end
+
+let add t x =
+  ensure_capacity t;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let add_many t xs = List.iter (add t) xs
+let count t = t.len
+
+let sort_in_place t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile.quantile: q outside [0,1]";
+  if t.len = 0 then nan
+  else begin
+    sort_in_place t;
+    (* Type-7: h = (n-1) q; interpolate between floor(h) and ceil(h). *)
+    let h = float_of_int (t.len - 1) *. q in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (lo + 1) (t.len - 1) in
+    let frac = h -. Float.floor h in
+    t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+  end
+
+let median t = quantile t 0.5
+let p90 t = quantile t 0.9
+let p99 t = quantile t 0.99
+let iqr t = quantile t 0.75 -. quantile t 0.25
+
+let to_sorted_array t =
+  sort_in_place t;
+  Array.sub t.samples 0 t.len
+
+let pp ppf t =
+  if t.len = 0 then Format.fprintf ppf "quantiles(n=0)"
+  else
+    Format.fprintf ppf "quantiles(n=%d p50=%.4g p90=%.4g p99=%.4g)" t.len
+      (median t) (p90 t) (p99 t)

@@ -1,0 +1,87 @@
+type t = { name : string; mutable rev_points : (float * float) list }
+
+let create ~name = { name; rev_points = [] }
+let name t = t.name
+let add t ~x ~y = t.rev_points <- (x, y) :: t.rev_points
+let points t = List.rev t.rev_points
+let length t = List.length t.rev_points
+
+let y_at t x =
+  (* rev_points holds the newest first, so the first hit is the last added. *)
+  let rec find = function
+    | [] -> None
+    | (px, py) :: rest -> if px = x then Some py else find rest
+  in
+  find t.rev_points
+
+let map_y t ~f =
+  {
+    name = t.name;
+    rev_points = List.map (fun (x, y) -> (x, f y)) t.rev_points;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s:" t.name;
+  List.iter (fun (x, y) -> Format.fprintf ppf " (%g, %g)" x y) (points t)
+
+module Table = struct
+  type series = t
+  type nonrec t = { x_label : string; columns : series list; xs : float list }
+
+  let of_series ~x_label columns =
+    let module FS = Set.Make (Float) in
+    let xs =
+      List.fold_left
+        (fun acc s ->
+          List.fold_left (fun acc (x, _) -> FS.add x acc) acc (points s))
+        FS.empty columns
+    in
+    { x_label; columns; xs = FS.elements xs }
+
+  let cell s x =
+    match y_at s x with None -> "-" | Some y -> Format.asprintf "%.4g" y
+
+  let render ~sep ~pad t =
+    let buffer = Buffer.create 256 in
+    let widths =
+      List.map
+        (fun s ->
+          List.fold_left
+            (fun w x -> Stdlib.max w (String.length (cell s x)))
+            (String.length (name s))
+            t.xs)
+        t.columns
+    in
+    let x_width =
+      List.fold_left
+        (fun w x -> Stdlib.max w (String.length (Format.asprintf "%g" x)))
+        (String.length t.x_label)
+        t.xs
+    in
+    let emit w s =
+      Buffer.add_string buffer s;
+      if pad then
+        Buffer.add_string buffer (String.make (Stdlib.max 0 (w - String.length s)) ' ')
+    in
+    emit x_width t.x_label;
+    List.iter2
+      (fun s w ->
+        Buffer.add_string buffer sep;
+        emit w (name s))
+      t.columns widths;
+    Buffer.add_char buffer '\n';
+    List.iter
+      (fun x ->
+        emit x_width (Format.asprintf "%g" x);
+        List.iter2
+          (fun s w ->
+            Buffer.add_string buffer sep;
+            emit w (cell s x))
+          t.columns widths;
+        Buffer.add_char buffer '\n')
+      t.xs;
+    Buffer.contents buffer
+
+  let pp ppf t = Format.pp_print_string ppf (render ~sep:"  " ~pad:true t)
+  let to_csv t = render ~sep:"," ~pad:false t
+end

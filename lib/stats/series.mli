@@ -1,0 +1,38 @@
+(** Labelled (x, y) series and sweep tables.
+
+    Benchmark sweeps (e.g. "responsiveness vs N for ring and binary search")
+    produce one {!t} per protocol; {!Table} aligns several series on their
+    shared x values and renders the rows a paper figure plots. *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+val add : t -> x:float -> y:float -> unit
+val points : t -> (float * float) list
+(** In insertion order. *)
+
+val length : t -> int
+
+val y_at : t -> float -> float option
+(** [y_at t x] is the y recorded at exactly [x], if any (last wins). *)
+
+val map_y : t -> f:(float -> float) -> t
+(** Fresh series with transformed y values, same name and x's. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Table : sig
+  type series = t
+  type t
+
+  val of_series : x_label:string -> series list -> t
+  (** Columns are the given series; rows are the union of their x values in
+      ascending order. Missing cells render as ["-"]. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Fixed-width textual table, header row then one row per x. *)
+
+  val to_csv : t -> string
+  (** Comma-separated rendering with the same layout as {!pp}. *)
+end

@@ -1,0 +1,42 @@
+(** Online summary statistics (Welford's algorithm).
+
+    A [t] accumulates a stream of float observations in O(1) space and
+    provides the usual moments plus extrema. All query functions are total:
+    on an empty summary they return [nan] (or [0] for {!count}). *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty accumulator. *)
+
+val copy : t -> t
+(** Independent copy of the accumulator state. *)
+
+val add : t -> float -> unit
+(** [add t x] folds observation [x] into [t]. [nan] observations are
+    counted in {!nan_count} but excluded from the moments. *)
+
+val add_many : t -> float list -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a summary equivalent to having observed both streams.
+    Neither argument is mutated. *)
+
+val count : t -> int
+val nan_count : t -> int
+val total : t -> float
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance (n-1 denominator); [nan] if [count t < 2]. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val last : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * stddev / sqrt n]); [nan] if [count t < 2]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders like [n=100 mean=4.27 sd=1.13 min=1 max=9]. *)

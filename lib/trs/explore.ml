@@ -1,0 +1,203 @@
+module TSet = Set.Make (Term)
+
+type stats = {
+  states : int;
+  transitions : int;
+  max_depth : int;
+  truncated : bool;
+}
+
+type violation = { state : Term.t; depth : int; message : string }
+
+type outcome = {
+  visited_order : Term.t list;
+  edge_list : (Term.t * string * Term.t) list;
+  stats : stats;
+  violations : violation list;
+}
+
+let explore ?(max_states = 100_000) ?max_depth
+    ?(check = fun _ -> Ok ()) ?(want_edges = false) system ~init =
+  let init = Term.canonicalize init in
+  let queue = Queue.create () in
+  Queue.push (init, 0) queue;
+  let visited = ref (TSet.singleton init) in
+  let rev_order = ref [ init ] in
+  let rev_edges = ref [] in
+  let violations = ref [] in
+  let transitions = ref 0 in
+  let deepest = ref 0 in
+  let truncated = ref false in
+  let within_depth depth =
+    match max_depth with None -> true | Some d -> depth < d
+  in
+  let verify state depth =
+    match check state with
+    | Ok () -> ()
+    | Error message -> violations := { state; depth; message } :: !violations
+  in
+  verify init 0;
+  while not (Queue.is_empty queue) do
+    let state, depth = Queue.pop queue in
+    if depth > !deepest then deepest := depth;
+    if within_depth depth then
+      List.iter
+        (fun (rule, _subst, next) ->
+          incr transitions;
+          if want_edges then
+            rev_edges := (state, Rule.name rule, next) :: !rev_edges;
+          if not (TSet.mem next !visited) then
+            if TSet.cardinal !visited >= max_states then truncated := true
+            else begin
+              visited := TSet.add next !visited;
+              rev_order := next :: !rev_order;
+              verify next (depth + 1);
+              Queue.push (next, depth + 1) queue
+            end)
+        (System.instances system state)
+    else truncated := true
+  done;
+  {
+    visited_order = List.rev !rev_order;
+    edge_list = List.rev !rev_edges;
+    stats =
+      {
+        states = TSet.cardinal !visited;
+        transitions = !transitions;
+        max_depth = !deepest;
+        truncated = !truncated;
+      };
+    violations = List.rev !violations;
+  }
+
+let bfs ?max_states ?max_depth ?check system ~init =
+  let outcome = explore ?max_states ?max_depth ?check system ~init in
+  (outcome.stats, outcome.violations)
+
+let reachable ?max_states ?max_depth system ~init =
+  (explore ?max_states ?max_depth system ~init).visited_order
+
+let edges ?max_states ?max_depth system ~init =
+  (explore ?max_states ?max_depth ~want_edges:true system ~init).edge_list
+
+let rule_counts ?max_states ?max_depth system ~init =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, rule, _) ->
+      Hashtbl.replace counts rule
+        (1 + Option.value (Hashtbl.find_opt counts rule) ~default:0))
+    (edges ?max_states ?max_depth system ~init);
+  List.sort compare (Hashtbl.fold (fun rule c acc -> (rule, c) :: acc) counts [])
+
+type liveness_report = {
+  explored : int;
+  goal_states : int;
+  can_reach : int;
+  cannot_reach : Term.t list;
+  undecided : int;
+}
+
+(* Backward closure of [seeds] over the (reversed) edge relation. *)
+let backward_closure ~edges ~seeds =
+  let predecessors = Hashtbl.create 256 in
+  List.iter
+    (fun (src, _, dst) ->
+      let existing =
+        Option.value (Hashtbl.find_opt predecessors dst) ~default:[]
+      in
+      Hashtbl.replace predecessors dst (src :: existing))
+    edges;
+  let closure = ref seeds in
+  let queue = Queue.create () in
+  TSet.iter (fun s -> Queue.push s queue) seeds;
+  while not (Queue.is_empty queue) do
+    let state = Queue.pop queue in
+    List.iter
+      (fun pred ->
+        if not (TSet.mem pred !closure) then begin
+          closure := TSet.add pred !closure;
+          Queue.push pred queue
+        end)
+      (Option.value (Hashtbl.find_opt predecessors state) ~default:[])
+  done;
+  !closure
+
+let eventually ?max_states ?max_depth ~goal system ~init =
+  let outcome = explore ?max_states ?max_depth ~want_edges:true system ~init in
+  let visited = TSet.of_list outcome.visited_order in
+  let goals = TSet.filter goal visited in
+  (* States whose forward cone may leave the explored set: any state with
+     an edge to an unexplored target, plus everything that can reach such
+     a state. For those no verdict is possible. *)
+  let leaky =
+    List.fold_left
+      (fun acc (src, _, dst) ->
+        if TSet.mem dst visited then acc else TSet.add src acc)
+      TSet.empty outcome.edge_list
+  in
+  let can = backward_closure ~edges:outcome.edge_list ~seeds:goals in
+  let may_escape = backward_closure ~edges:outcome.edge_list ~seeds:leaky in
+  let cannot =
+    TSet.filter
+      (fun s -> (not (TSet.mem s can)) && not (TSet.mem s may_escape))
+      visited
+  in
+  let undecided =
+    TSet.cardinal (TSet.filter (fun s -> not (TSet.mem s can)) may_escape)
+  in
+  {
+    explored = TSet.cardinal visited;
+    goal_states = TSet.cardinal goals;
+    can_reach = TSet.cardinal can;
+    cannot_reach = TSet.elements cannot;
+    undecided;
+  }
+
+let deadlocks ?max_states ?max_depth system ~init =
+  List.filter
+    (fun state -> System.is_normal_form system state)
+    (reachable ?max_states ?max_depth system ~init)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?max_states ?max_depth ?(node_label = Term.to_string) system ~init =
+  let init = Term.canonicalize init in
+  let outcome = explore ?max_states ?max_depth ~want_edges:true system ~init in
+  let ids = ref TSet.empty in
+  let id_table = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let id_of state =
+    match Hashtbl.find_opt id_table state with
+    | Some i -> i
+    | None ->
+        let i = !next_id in
+        incr next_id;
+        Hashtbl.add id_table state i;
+        ids := TSet.add state !ids;
+        i
+  in
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "digraph states {\n  rankdir=LR;\n";
+  List.iter
+    (fun state ->
+      let i = id_of state in
+      Buffer.add_string buffer
+        (Printf.sprintf "  s%d [label=\"%s\"%s];\n" i
+           (escape (node_label state))
+           (if Term.equal state init then " peripheries=2" else "")))
+    outcome.visited_order;
+  List.iter
+    (fun (src, rule, dst) ->
+      (* Only draw edges between visited states (the frontier may have
+         been truncated). *)
+      if Hashtbl.mem id_table src && Hashtbl.mem id_table dst then
+        Buffer.add_string buffer
+          (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" (id_of src)
+             (id_of dst) (escape rule)))
+    outcome.edge_list;
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer

@@ -1,0 +1,92 @@
+(** Bounded breadth-first exploration of a system's reachable states.
+
+    This is the machine-checked counterpart of the paper's safety proofs:
+    for small instances we enumerate {e every} reachable state and verify
+    an invariant (e.g. the prefix property) on each, or collect the full
+    transition relation for refinement checking. *)
+
+type stats = {
+  states : int;  (** Distinct states visited. *)
+  transitions : int;  (** Edges traversed (with duplicates). *)
+  max_depth : int;  (** Deepest BFS layer reached. *)
+  truncated : bool;  (** True if a bound stopped exploration early. *)
+}
+
+type violation = { state : Term.t; depth : int; message : string }
+
+val bfs :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?check:(Term.t -> (unit, string) result) ->
+  System.t ->
+  init:Term.t ->
+  stats * violation list
+(** Explore from [init] (canonicalized). Defaults: [max_states = 100_000],
+    [max_depth] unbounded, [check] always [Ok]. Exploration continues past
+    violations so a run reports them all (up to the bounds). *)
+
+val reachable :
+  ?max_states:int -> ?max_depth:int -> System.t -> init:Term.t -> Term.t list
+(** The visited set, in BFS order. *)
+
+val edges :
+  ?max_states:int ->
+  ?max_depth:int ->
+  System.t ->
+  init:Term.t ->
+  (Term.t * string * Term.t) list
+(** The traversed labelled transition relation [(state, rule, successor)],
+    restricted to visited source states. *)
+
+val rule_counts :
+  ?max_states:int -> ?max_depth:int -> System.t -> init:Term.t -> (string * int) list
+(** How many explored transitions each rule contributed, sorted by rule
+    name. A rule missing from the list never fired — dead rules in a
+    specification are almost always encoding mistakes, so tests assert
+    full coverage. *)
+
+(** {1 Liveness} *)
+
+type liveness_report = {
+  explored : int;  (** States considered. *)
+  goal_states : int;  (** States satisfying the goal directly. *)
+  can_reach : int;  (** States with a path to a goal state. *)
+  cannot_reach : Term.t list;
+      (** Definite livelocks: states whose {e entire} forward cone lies
+          inside the explored set and never meets the goal (includes
+          goal-less normal forms). Empty list = the property holds on the
+          explored portion. *)
+  undecided : int;
+      (** States whose forward cone leaves the explored set (frontier
+          effects); no verdict for these. *)
+}
+
+val eventually :
+  ?max_states:int ->
+  ?max_depth:int ->
+  goal:(Term.t -> bool) ->
+  System.t ->
+  init:Term.t ->
+  liveness_report
+(** Bounded check of "from every reachable state, a goal state remains
+    reachable" (the AG EF pattern — e.g. "the token can always still get
+    to node 1"). Sound for the states it decides: a state in
+    [cannot_reach] really cannot reach the goal; [undecided] states got
+    no verdict because exploration was truncated around them. *)
+
+val deadlocks :
+  ?max_states:int -> ?max_depth:int -> System.t -> init:Term.t -> Term.t list
+(** Reachable normal forms (no rule applicable). The paper's systems with
+    non-exhausted budgets should have none — the token can always move. *)
+
+val to_dot :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?node_label:(Term.t -> string) ->
+  System.t ->
+  init:Term.t ->
+  string
+(** Graphviz rendering of the explored transition system: one node per
+    state (default label: the pretty-printed term), one edge per rule
+    application, the initial state drawn doubled. Useful for visually
+    inspecting small instances of the paper's systems. *)

@@ -1,0 +1,89 @@
+let is_rest_pattern = function Term.Var _ | Term.Wild -> true | _ -> false
+
+let rec match_one pattern term subst =
+  match (pattern, term) with
+  | Term.Wild, _ -> [ subst ]
+  | Term.Var v, _ -> (
+      match Subst.find subst v with
+      | Some bound ->
+          if Term.equal (Term.canonicalize bound) (Term.canonicalize term) then
+            [ subst ]
+          else []
+      | None -> [ Subst.bind subst v term ])
+  | Term.Const c, Term.Const c' -> if String.equal c c' then [ subst ] else []
+  | Term.Int i, Term.Int i' -> if i = i' then [ subst ] else []
+  | Term.App (f, ps), Term.App (g, ts) ->
+      if String.equal f g && List.length ps = List.length ts then
+        match_list ps ts subst
+      else []
+  | Term.Seq ps, Term.Seq ts ->
+      if List.length ps = List.length ts then match_list ps ts subst else []
+  | Term.Bag ps, Term.Bag ts -> match_bag ps ts subst
+  | (Term.Const _ | Term.Int _ | Term.App _ | Term.Seq _ | Term.Bag _), _ -> []
+
+and match_list ps ts subst =
+  match (ps, ts) with
+  | [], [] -> [ subst ]
+  | p :: ps', t :: ts' ->
+      List.concat_map (fun s -> match_list ps' ts' s) (match_one p t subst)
+  | _, _ -> []
+
+and match_bag ps ts subst =
+  let rests, elems = List.partition is_rest_pattern ps in
+  match rests with
+  | _ :: _ :: _ ->
+      invalid_arg "Matching: bag pattern with several rest variables"
+  | rest ->
+      (* Match each element pattern against a distinct bag member, in all
+         possible ways; what remains goes to the rest variable. *)
+      let rec assign elems available subst =
+        match elems with
+        | [] -> finish rest available subst
+        | p :: elems' ->
+            List.concat_map
+              (fun (chosen, others) ->
+                List.concat_map
+                  (fun s -> assign elems' others s)
+                  (match_one p chosen subst))
+              (selections available)
+      in
+      assign elems ts subst
+
+and selections items =
+  (* All ways to pick one element, returning (picked, rest). *)
+  let rec go prefix = function
+    | [] -> []
+    | x :: rest -> (x, List.rev_append prefix rest) :: go (x :: prefix) rest
+  in
+  go [] items
+
+and finish rest remaining subst =
+  match rest with
+  | [] -> if remaining = [] then [ subst ] else []
+  | [ Term.Wild ] -> [ subst ]
+  | [ Term.Var v ] -> (
+      let value = Term.bag remaining in
+      match Subst.find subst v with
+      | Some bound ->
+          if Term.equal (Term.canonicalize bound) value then [ subst ] else []
+      | None -> [ Subst.bind subst v value ])
+  | [ _ ] | _ :: _ :: _ -> assert false
+
+let dedup substs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        if List.exists (Subst.equal s) acc then go acc rest
+        else go (s :: acc) rest
+  in
+  go [] substs
+
+let all_matches ~pattern term =
+  if not (Term.is_ground term) then
+    invalid_arg "Matching.all_matches: subject term must be ground";
+  dedup (match_one pattern (Term.canonicalize term) Subst.empty)
+
+let matches ~pattern term =
+  match all_matches ~pattern term with [] -> None | s :: _ -> Some s
+
+let is_instance ~pattern term = Option.is_some (matches ~pattern term)

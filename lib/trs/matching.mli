@@ -1,0 +1,24 @@
+(** Pattern matching modulo associativity–commutativity of bags.
+
+    [all_matches ~pattern term] enumerates every substitution σ with
+    [σ(pattern) = term] (up to AC). Bags make matching non-deterministic —
+    the paper's rules select {e some} element of a set, e.g. [Q | (x,d_x)]
+    — so a single pattern can match a state in many ways; exploration needs
+    all of them.
+
+    Pattern conventions (checked at match time):
+    - In a bag pattern, at most one element may be a bare variable or
+      wild-card; it matches {e the rest} of the bag (possibly empty). The
+      remaining elements must each match distinct bag members.
+    - [Wild] matches anything and binds nothing.
+    - A variable occurring twice must match equal (AC-canonical) terms. *)
+
+val all_matches : pattern:Term.t -> Term.t -> Subst.t list
+(** All solutions, duplicates removed. The subject term must be ground.
+    @raise Invalid_argument if the subject is not ground or a bag pattern
+    has several rest variables. *)
+
+val matches : pattern:Term.t -> Term.t -> Subst.t option
+(** First solution, if any. *)
+
+val is_instance : pattern:Term.t -> Term.t -> bool

@@ -1,0 +1,126 @@
+exception Parse_error of { position : int; message : string }
+
+type cursor = { input : string; mutable pos : int }
+
+let error cursor message = raise (Parse_error { position = cursor.pos; message })
+
+let peek cursor =
+  if cursor.pos < String.length cursor.input then Some cursor.input.[cursor.pos]
+  else None
+
+let advance cursor = cursor.pos <- cursor.pos + 1
+
+let skip_spaces cursor =
+  let rec go () =
+    match peek cursor with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cursor;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || is_digit c || c = '_' || c = '\''
+
+let lex_int cursor =
+  let start = cursor.pos in
+  if peek cursor = Some '-' then advance cursor;
+  let rec go () =
+    match peek cursor with
+    | Some c when is_digit c ->
+        advance cursor;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub cursor.input start (cursor.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> i
+  | None -> error cursor (Printf.sprintf "malformed integer %S" text)
+
+let lex_ident cursor =
+  let start = cursor.pos in
+  let rec go () =
+    match peek cursor with
+    | Some c when is_ident_char c ->
+        advance cursor;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub cursor.input start (cursor.pos - start)
+
+(* term-list separated by [sep], terminated by [close] (which is
+   consumed). Returns [] for an immediately-closing bracket. *)
+let rec parse_list cursor ~sep ~close =
+  skip_spaces cursor;
+  if peek cursor = Some close then begin
+    advance cursor;
+    []
+  end
+  else begin
+    let first = parse_term cursor in
+    let rec rest acc =
+      skip_spaces cursor;
+      match peek cursor with
+      | Some c when c = sep ->
+          advance cursor;
+          rest (parse_term cursor :: acc)
+      | Some c when c = close ->
+          advance cursor;
+          List.rev acc
+      | Some c ->
+          error cursor
+            (Printf.sprintf "expected '%c' or '%c', found '%c'" sep close c)
+      | None -> error cursor "unexpected end of input inside brackets"
+    in
+    rest [ first ]
+  end
+
+and parse_term cursor =
+  skip_spaces cursor;
+  match peek cursor with
+  | None -> error cursor "unexpected end of input"
+  | Some '_' ->
+      advance cursor;
+      Term.Wild
+  | Some '{' ->
+      advance cursor;
+      Term.bag (parse_list cursor ~sep:'|' ~close:'}')
+  | Some '<' ->
+      advance cursor;
+      Term.Seq (parse_list cursor ~sep:',' ~close:'>')
+  | Some '(' -> (
+      advance cursor;
+      match parse_list cursor ~sep:',' ~close:')' with
+      | [] -> error cursor "empty parentheses"
+      | [ single ] -> single
+      | several -> Term.tuple several)
+  | Some c when is_digit c || c = '-' -> Term.Int (lex_int cursor)
+  | Some c when is_ident_start c -> (
+      let name = lex_ident cursor in
+      skip_spaces cursor;
+      match peek cursor with
+      | Some '(' ->
+          advance cursor;
+          let args = parse_list cursor ~sep:',' ~close:')' in
+          if args = [] then error cursor "application with no arguments"
+          else Term.App (name, args)
+      | Some _ | None ->
+          if c >= 'A' && c <= 'Z' then Term.Var name else Term.Const name)
+  | Some c -> error cursor (Printf.sprintf "unexpected character '%c'" c)
+
+let term input =
+  let cursor = { input; pos = 0 } in
+  let result = parse_term cursor in
+  skip_spaces cursor;
+  match peek cursor with
+  | None -> result
+  | Some c -> error cursor (Printf.sprintf "trailing input starting at '%c'" c)
+
+let term_opt input = try Some (term input) with Parse_error _ -> None

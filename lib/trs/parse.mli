@@ -1,0 +1,29 @@
+(** Textual syntax for terms.
+
+    A compact ASCII grammar for writing patterns and states in tests,
+    docs and the CLI:
+
+    {v
+    term  ::= INT                        integers
+            | UIdent                     variable   (starts uppercase)
+            | lident                     constant   (starts lowercase)
+            | lident '(' term,* ')'      application
+            | '_'                        wild card (the paper's '-')
+            | '{' term ('|' term)* '}'   bag ('{}' is the empty bag)
+            | '<' term,* '>'             sequence / history ('<>' empty)
+            | '(' term,* ')'             tuple (1 element = grouping)
+    v}
+
+    Examples: [ "{Q | qent(x, d, b)}" ], [ "<datum(0,1), rot(0)>" ],
+    [ "msg(0, 1, tok(<>))" ].
+
+    The concrete syntax matches the convention of §2: capitalised
+    identifiers are pattern variables, lower-case ones constants. *)
+
+exception Parse_error of { position : int; message : string }
+
+val term : string -> Term.t
+(** @raise Parse_error on malformed input (position is a 0-based byte
+    offset into the string). Bags are canonicalized. *)
+
+val term_opt : string -> Term.t option

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  lhs : Term.t;
+  rhs : Term.t;
+  guard : Subst.t -> bool;
+  extend : Subst.t -> Subst.t list;
+}
+
+(* Replace wild-cards that occupy the same position on both sides with a
+   shared fresh variable, so the matched value passes through unchanged.
+   Pairing descends through tuples/applications and sequences of equal
+   shape; it does not descend into bags (the paper only pairs wild-cards
+   at the state-tuple level). *)
+let freshen_wildcards lhs rhs =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Term.Var (Printf.sprintf "_w%d" !counter)
+  in
+  let rec walk l r =
+    match (l, r) with
+    | Term.Wild, Term.Wild ->
+        let v = fresh () in
+        (v, v)
+    | Term.App (f, ls), Term.App (g, rs)
+      when String.equal f g && List.length ls = List.length rs ->
+        let pairs = List.map2 (fun a b -> walk a b) ls rs in
+        (Term.App (f, List.map fst pairs), Term.App (g, List.map snd pairs))
+    | Term.Seq ls, Term.Seq rs when List.length ls = List.length rs ->
+        let pairs = List.map2 (fun a b -> walk a b) ls rs in
+        (Term.Seq (List.map fst pairs), Term.Seq (List.map snd pairs))
+    | _, _ -> (l, r)
+  in
+  walk lhs rhs
+
+let rec rhs_has_wild = function
+  | Term.Wild -> true
+  | Term.Const _ | Term.Int _ | Term.Var _ -> false
+  | Term.App (_, args) | Term.Bag args | Term.Seq args ->
+      List.exists rhs_has_wild args
+
+let make ?(guard = fun _ -> true) ?(extend = fun s -> [ s ]) ~name ~lhs ~rhs ()
+    =
+  let lhs, rhs = freshen_wildcards lhs rhs in
+  if rhs_has_wild rhs then
+    invalid_arg
+      (Printf.sprintf "Rule.make(%s): unpaired wild-card on right-hand side"
+         name);
+  { name; lhs; rhs; guard; extend }
+
+let name t = t.name
+let lhs t = t.lhs
+let rhs t = t.rhs
+
+let instances t term =
+  let matched = Matching.all_matches ~pattern:t.lhs term in
+  List.concat_map
+    (fun subst ->
+      if not (t.guard subst) then []
+      else
+        List.filter_map
+          (fun extended ->
+            let result = Subst.apply extended t.rhs in
+            if Term.is_ground result then
+              Some (extended, Term.canonicalize result)
+            else
+              invalid_arg
+                (Printf.sprintf
+                   "Rule %s: instantiated right-hand side not ground: %s"
+                   t.name (Term.to_string result)))
+          (t.extend subst))
+    matched
+
+let applicable t term = instances t term <> []
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a → %a" t.name Term.pp t.lhs Term.pp t.rhs

@@ -1,0 +1,39 @@
+(** Rewriting rules [lhs → rhs (if guard)].
+
+    Beyond the paper's notation, a rule may carry an [extend] function that
+    computes or enumerates bindings for right-hand-side variables not bound
+    by the left-hand side — this is how "send to {e some} node [y]"
+    non-determinism and derived values like [y = x⁺¹] or [u = x^(±n/2)]
+    are expressed. An extension returning several substitutions yields
+    several instances of the rule.
+
+    The paper's wild-card convention — a ['-'] in the same position on both
+    sides is left unchanged — is implemented by {!make}: positionally
+    paired wild-cards are replaced by a shared fresh variable. *)
+
+type t
+
+val make :
+  ?guard:(Subst.t -> bool) ->
+  ?extend:(Subst.t -> Subst.t list) ->
+  name:string ->
+  lhs:Term.t ->
+  rhs:Term.t ->
+  unit ->
+  t
+(** @raise Invalid_argument if the right-hand side contains a wild-card
+    with no positional partner on the left. *)
+
+val name : t -> string
+val lhs : t -> Term.t
+val rhs : t -> Term.t
+
+val instances : t -> Term.t -> (Subst.t * Term.t) list
+(** All ways the rule applies to the (ground) term: match the left-hand
+    side, filter by guard, apply extensions, instantiate. Results are
+    canonical ground terms.
+    @raise Invalid_argument if an instantiated right-hand side still
+    contains variables (a spec bug: missing [extend]). *)
+
+val applicable : t -> Term.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = First | Round_robin of int ref | Custom of (count:int -> int)
+
+let first = First
+let round_robin () = Round_robin (ref 0)
+let custom pick = Custom pick
+
+let choose t ~count =
+  if count <= 0 then invalid_arg "Strategy.choose: no instances to choose from";
+  match t with
+  | First -> 0
+  | Round_robin cursor ->
+      let i = !cursor mod count in
+      incr cursor;
+      i
+  | Custom pick ->
+      let i = pick ~count in
+      if i < 0 || i >= count then
+        invalid_arg "Strategy.choose: custom pick out of range";
+      i

@@ -1,0 +1,23 @@
+(** Rewriting strategies: which applicable instance to fire next.
+
+    A strategy narrows the non-deterministic rule relation to a single
+    reduction, as §4 of the paper does when restricting behaviours for
+    performance. Strategies only pick indices, so the module stays
+    independent of any random-number source; build a random strategy from
+    whatever generator the caller owns. *)
+
+type t
+
+val first : t
+(** Always the lowest-indexed applicable instance. *)
+
+val round_robin : unit -> t
+(** Rotates through instance indices across successive choices (stateful);
+    gives every enabled rule a fair chance along the reduction. *)
+
+val custom : (count:int -> int) -> t
+(** [custom pick]: [pick ~count] must return an index in [\[0, count)].
+    Use e.g. [Strategy.custom (fun ~count -> Rng.int rng count)]. *)
+
+val choose : t -> count:int -> int
+(** @raise Invalid_argument if [count <= 0] or the pick is out of range. *)

@@ -1,0 +1,61 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let bind t name term = M.add name term t
+let find t name = M.find_opt name t
+
+let find_exn t name =
+  match M.find_opt name t with Some v -> v | None -> raise Not_found
+
+let find_int t name =
+  match M.find_opt name t with
+  | Some (Term.Int i) -> i
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "Subst.find_int: %s bound to non-integer %s" name
+           (Term.to_string other))
+  | None -> invalid_arg (Printf.sprintf "Subst.find_int: %s unbound" name)
+
+let mem t name = M.mem name t
+let bindings t = M.bindings t
+
+let merge_consistent a b =
+  let consistent = ref true in
+  let merged =
+    M.union
+      (fun _name ta tb ->
+        if Term.equal ta tb then Some ta
+        else begin
+          consistent := false;
+          Some ta
+        end)
+      a b
+  in
+  if !consistent then Some merged else None
+
+let rec apply t term =
+  match term with
+  | Term.Const _ | Term.Int _ | Term.Wild -> term
+  | Term.Var v -> ( match M.find_opt v t with Some bound -> bound | None -> term)
+  | Term.App ("append", [ h; d ]) ->
+      let h' = apply t h and d' = apply t d in
+      Term.seq_append h' d'
+  | Term.App (f, args) -> Term.App (f, List.map (apply t) args)
+  | Term.Seq items -> Term.Seq (List.map (apply t) items)
+  | Term.Bag items -> Term.bag (List.map (apply t) items)
+
+let equal a b = M.equal Term.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  M.iter
+    (fun name term ->
+      if not !first then Format.fprintf ppf ", ";
+      first := false;
+      Format.fprintf ppf "%s ↦ %a" name Term.pp term)
+    t;
+  Format.fprintf ppf "}"

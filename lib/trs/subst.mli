@@ -1,0 +1,37 @@
+(** Variable bindings produced by pattern matching.
+
+    A substitution maps variable names to ground terms. Application
+    replaces variables and evaluates history appends ([App ("append", _)])
+    so instantiated right-hand sides are fully normalized terms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val bind : t -> string -> Term.t -> t
+(** Overrides any previous binding for the name. *)
+
+val find : t -> string -> Term.t option
+val find_exn : t -> string -> Term.t
+(** @raise Not_found when unbound. *)
+
+val find_int : t -> string -> int
+(** Convenience for guards: the binding must be an [Int].
+    @raise Invalid_argument otherwise. *)
+
+val mem : t -> string -> bool
+val bindings : t -> (string * Term.t) list
+(** Sorted by variable name. *)
+
+val merge_consistent : t -> t -> t option
+(** Union when the two agree on every shared variable, [None] otherwise. *)
+
+val apply : t -> Term.t -> Term.t
+(** Instantiate: replace bound variables, evaluate [append(h, d)] nodes
+    into sequence appends, canonicalize bags. Unbound variables and
+    wild-cards are left in place (callers check groundness).
+    @raise Invalid_argument if an [append] left operand is not a history
+    after substitution. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = { name : string; rules : Rule.t list }
+
+let make ~name ~rules = { name; rules }
+let name t = t.name
+let rules t = t.rules
+
+let find_rule t rule_name =
+  List.find_opt (fun r -> String.equal (Rule.name r) rule_name) t.rules
+
+let instances t term =
+  List.concat_map
+    (fun rule ->
+      List.map (fun (subst, result) -> (rule, subst, result)) (Rule.instances rule term))
+    t.rules
+
+let successors t term =
+  let results = List.map (fun (_, _, result) -> result) (instances t term) in
+  List.sort_uniq Term.compare results
+
+let is_normal_form t term = instances t term = []
+
+let reduce t ~strategy ~init ~steps =
+  let rec go state remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      match instances t state with
+      | [] -> List.rev acc
+      | choices ->
+          let i = Strategy.choose strategy ~count:(List.length choices) in
+          let _, _, next = List.nth choices i in
+          go next (remaining - 1) (next :: acc)
+  in
+  go (Term.canonicalize init) steps [ Term.canonicalize init ]
+
+let pp ppf t =
+  Format.fprintf ppf "system %s:@\n" t.name;
+  List.iter (fun r -> Format.fprintf ppf "  %a@\n" Rule.pp r) t.rules

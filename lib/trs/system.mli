@@ -1,0 +1,28 @@
+(** A term rewriting system: named rules plus reduction.
+
+    [successors] is the one-step transition relation used by the explorer;
+    [reduce] follows a single path under a strategy (the operational
+    reading used by performance arguments). *)
+
+type t
+
+val make : name:string -> rules:Rule.t list -> t
+val name : t -> string
+val rules : t -> Rule.t list
+val find_rule : t -> string -> Rule.t option
+
+val instances : t -> Term.t -> (Rule.t * Subst.t * Term.t) list
+(** Every applicable (rule, match, successor) triple, rules in declaration
+    order. *)
+
+val successors : t -> Term.t -> Term.t list
+(** Distinct successor states (canonical, deduplicated). *)
+
+val is_normal_form : t -> Term.t -> bool
+
+val reduce :
+  t -> strategy:Strategy.t -> init:Term.t -> steps:int -> Term.t list
+(** The reduction path [init :: ...], at most [steps] rewrites, stopping
+    early at a normal form. Each step fires the strategy-chosen instance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+type t =
+  | Const of string
+  | Int of int
+  | Var of string
+  | Wild
+  | App of string * t list
+  | Bag of t list
+  | Seq of t list
+
+let rec compare a b =
+  match (a, b) with
+  | Const x, Const y -> String.compare x y
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Var x, Var y -> String.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Wild, Wild -> 0
+  | Wild, _ -> -1
+  | _, Wild -> 1
+  | App (f, xs), App (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else compare_lists xs ys
+  | App _, _ -> -1
+  | _, App _ -> 1
+  | Bag xs, Bag ys -> compare_lists xs ys
+  | Bag _, _ -> -1
+  | _, Bag _ -> 1
+  | Seq xs, Seq ys -> compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec canonicalize term =
+  match term with
+  | Const _ | Int _ | Var _ | Wild -> term
+  | App (f, args) -> App (f, List.map canonicalize args)
+  | Seq items -> Seq (List.map canonicalize items)
+  | Bag items ->
+      let flattened =
+        List.concat_map
+          (fun item ->
+            match canonicalize item with Bag inner -> inner | other -> [ other ])
+          items
+      in
+      Bag (List.sort compare flattened)
+
+let tuple items = App ("tuple", items)
+let pair a b = tuple [ a; b ]
+let bag items = canonicalize (Bag items)
+let seq items = Seq items
+let phi x = App ("phi", [ Int x ])
+let tau x = App ("tau", [ Int x ])
+let datum x k = App ("datum", [ Int x; Int k ])
+let rot x = App ("rot", [ Int x ])
+
+let rec is_ground = function
+  | Const _ | Int _ -> true
+  | Var _ | Wild -> false
+  | App (_, args) -> List.for_all is_ground args
+  | Bag items | Seq items -> List.for_all is_ground items
+
+let vars term =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec walk = function
+    | Const _ | Int _ | Wild -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end
+    | App (_, args) -> List.iter walk args
+    | Bag items | Seq items -> List.iter walk items
+  in
+  walk term;
+  List.rev !acc
+
+let rec size = function
+  | Const _ | Int _ | Var _ | Wild -> 1
+  | App (_, args) -> List.fold_left (fun n a -> n + size a) 1 args
+  | Bag items | Seq items -> List.fold_left (fun n a -> n + size a) 1 items
+
+let seq_append h d =
+  match h with
+  | Seq items -> (
+      match d with
+      | App ("phi", _) -> Seq items (* φ is the identity for ⊕ *)
+      | Seq more -> Seq (items @ more) (* appending a composite datum *)
+      | _ -> Seq (items @ [ d ]))
+  | Const _ | Int _ | Var _ | Wild | App _ | Bag _ ->
+      invalid_arg "Term.seq_append: left operand is not a history"
+
+let seq_is_prefix a b =
+  match (a, b) with
+  | Seq xs, Seq ys ->
+      let rec prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _ :: _, [] -> false
+        | x :: xs', y :: ys' -> equal x y && prefix xs' ys'
+      in
+      prefix xs ys
+  | _ -> invalid_arg "Term.seq_is_prefix: arguments must be histories"
+
+let seq_project ~keep = function
+  | Seq items -> Seq (List.filter keep items)
+  | Const _ | Int _ | Var _ | Wild | App _ | Bag _ ->
+      invalid_arg "Term.seq_project: argument must be a history"
+
+let rec pp ppf = function
+  | Const c -> Format.pp_print_string ppf c
+  | Int i -> Format.pp_print_int ppf i
+  | Var v -> Format.fprintf ppf "%s" v
+  | Wild -> Format.pp_print_string ppf "-"
+  | App ("tuple", args) ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ", ") pp)
+        args
+  | App ("phi", [ Int x ]) -> Format.fprintf ppf "φ%d" x
+  | App ("tau", [ Int x ]) -> Format.fprintf ppf "τ%d" x
+  | App ("rot", [ Int x ]) -> Format.fprintf ppf "r%d" x
+  | App ("datum", [ Int x; Int k ]) -> Format.fprintf ppf "d%d.%d" x k
+  | App (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ", ") pp)
+        args
+  | Bag [] -> Format.pp_print_string ppf "ø"
+  | Bag items ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p " | ") pp)
+        items
+  | Seq [] -> Format.pp_print_string ppf "ε"
+  | Seq items ->
+      Format.fprintf ppf "⟨%a⟩"
+        (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p "⊕") pp)
+        items
+
+let to_string term = Format.asprintf "%a" pp term

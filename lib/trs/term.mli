@@ -1,0 +1,84 @@
+(** Terms of the rewriting systems used to specify the protocols.
+
+    The grammar mirrors the paper's notation (§2):
+    - constants (Greek letters in the paper) and integers;
+    - pattern {e variables} (capitalised identifiers in the paper) and the
+      wild-card ['-'];
+    - constructor applications such as [pair(x, d)] or [phi(x)];
+    - {e bags}: the associative–commutative ['|'] catenation used for the
+      sets [Q], [P], [I], [O], [W];
+    - {e sequences}: the ordered histories built with the append
+      operator [⊕].
+
+    Bags are kept in a canonical sorted form so that structural equality
+    coincides with equality modulo associativity and commutativity. *)
+
+type t =
+  | Const of string
+  | Int of int
+  | Var of string  (** Pattern variable; never present in a ground term. *)
+  | Wild  (** The '-' wild card; patterns only. *)
+  | App of string * t list
+  | Bag of t list  (** AC multiset; canonicalized to sorted order. *)
+  | Seq of t list  (** Ordered sequence (history). *)
+
+(** {1 Smart constructors} *)
+
+val tuple : t list -> t
+(** [App ("tuple", items)] — the paper's parenthesised grouping. *)
+
+val pair : t -> t -> t
+val bag : t list -> t
+(** Canonicalizes: flattens nested bags and sorts elements. *)
+
+val seq : t list -> t
+val phi : int -> t
+(** [phi x] is φ_x, the empty-datum symbol of node [x]. *)
+
+val tau : int -> t
+(** [tau x] is τ_x, the trap symbol set on behalf of node [x]. *)
+
+val datum : int -> int -> t
+(** [datum x k] is the [k]-th fresh datum broadcast by node [x]
+    (the paper's [new_x]). *)
+
+val rot : int -> t
+(** [rot x] — marker appended to a history when the token leaves node [x]
+    on its circular rotation; realizes the projection set [C] of the
+    paper's [⊂_C] comparison. *)
+
+(** {1 Operations} *)
+
+val compare : t -> t -> int
+(** Total structural order; on canonical terms this is equality modulo AC. *)
+
+val equal : t -> t -> bool
+
+val canonicalize : t -> t
+(** Sort bags (recursively) and flatten nested bags. Idempotent. *)
+
+val is_ground : t -> bool
+(** No [Var] or [Wild] anywhere. *)
+
+val vars : t -> string list
+(** Distinct variable names, in first-occurrence order. *)
+
+val size : t -> int
+(** Node count; used to bound exploration. *)
+
+val seq_append : t -> t -> t
+(** [seq_append h d] is [h ⊕ d]. Appending [phi _] is the identity (the
+    paper: φ is the identity for ⊕); appending a [Seq] concatenates (a
+    node's composite datum [d_x] is itself a sequence, and ⊕ of the empty
+    sequence is again the identity).
+    @raise Invalid_argument if [h] is not a [Seq]. *)
+
+val seq_is_prefix : t -> t -> bool
+(** [seq_is_prefix a b] — the paper's [A ⊂ B] (prefix, inclusive). *)
+
+val seq_project : keep:(t -> bool) -> t -> t
+(** Projection of a sequence onto the elements satisfying [keep]
+    (for [⊂_C]). @raise Invalid_argument on non-[Seq]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,657 @@
+(* Unit and property tests for Tr_sim: RNG, priority queue, network
+   model, workloads, metrics semantics, traces, and the event engine. *)
+
+open Tr_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int_invalid () =
+  let r = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 7 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential r ~mean:5.0 in
+    if x <= 0.0 then Alcotest.fail "exponential must be positive";
+    total := !total +. x
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 5" true (mean > 4.7 && mean < 5.3)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" false (Int64.equal xa xb)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int within [0,bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float within [0,bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.float r bound in
+      x >= 0.0 && x < bound)
+
+(* ---------------- Pqueue ---------------- *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun t -> Pqueue.push q ~time:t t) [ 3.0; 1.0; 2.0; 0.5 ];
+  let order = List.init 4 (fun _ -> Option.get (Pqueue.pop q)) in
+  Alcotest.(check (list (float 1e-9)))
+    "sorted" [ 0.5; 1.0; 2.0; 3.0 ]
+    (List.map fst order);
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~time:1.0 p) [ "a"; "b"; "c" ];
+  let payloads = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "insertion order on equal keys"
+    [ "a"; "b"; "c" ] payloads
+
+let test_pqueue_peek_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check (option (float 1e-9))) "peek empty" None (Pqueue.peek_time q);
+  Pqueue.push q ~time:2.0 ();
+  Alcotest.(check (option (float 1e-9))) "peek" (Some 2.0) (Pqueue.peek_time q);
+  Pqueue.clear q;
+  Alcotest.(check int) "cleared" 0 (Pqueue.length q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pops come out sorted" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) (float_bound_exclusive 1000.0))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iter (fun t -> Pqueue.push q ~time:t ()) times;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      List.sort Float.compare times = out)
+
+(* ---------------- Network ---------------- *)
+
+let test_network_constant_delay () =
+  let net = Network.create ~reliable_delay:(Network.Constant 2.5) () in
+  let rng = Rng.create 0 in
+  check_float "constant" 2.5
+    (Network.sample_delay net rng Network.Reliable ~src:0 ~dst:1)
+
+let test_network_uniform_delay_bounds () =
+  let net = Network.create ~cheap_delay:(Network.Uniform (1.0, 3.0)) () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let d = Network.sample_delay net rng Network.Cheap ~src:0 ~dst:1 in
+    if d < 1.0 || d > 3.0 then Alcotest.failf "delay %g out of range" d
+  done
+
+let test_network_per_link_delay () =
+  let net =
+    Network.create
+      ~reliable_delay:
+        (Network.Per_link (fun ~src ~dst -> if src = 0 && dst = 1 then 7.0 else 1.0))
+      ()
+  in
+  let rng = Rng.create 0 in
+  check_float "slow link" 7.0
+    (Network.sample_delay net rng Network.Reliable ~src:0 ~dst:1);
+  check_float "normal link" 1.0
+    (Network.sample_delay net rng Network.Reliable ~src:1 ~dst:0)
+
+let test_network_drop_probability () =
+  let never = Network.create ~cheap_drop_probability:0.0 () in
+  let always = Network.create ~cheap_drop_probability:1.0 () in
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "never drops" false
+    (Network.dropped never rng Network.Cheap ~src:0 ~dst:1);
+  Alcotest.(check bool) "always drops cheap" true
+    (Network.dropped always rng Network.Cheap ~src:0 ~dst:1);
+  Alcotest.(check bool) "reliable immune to loss" false
+    (Network.dropped always rng Network.Reliable ~src:0 ~dst:1)
+
+let test_network_partition () =
+  let net = Network.create ~partitioned:(fun s d -> s = 0 && d = 1) () in
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "partitioned link drops reliable" true
+    (Network.dropped net rng Network.Reliable ~src:0 ~dst:1);
+  Alcotest.(check bool) "other links fine" false
+    (Network.dropped net rng Network.Reliable ~src:1 ~dst:0)
+
+let test_network_invalid () =
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Network.create: drop probability outside [0,1]")
+    (fun () -> ignore (Network.create ~cheap_drop_probability:1.5 ()))
+
+(* ---------------- Workload ---------------- *)
+
+let test_workload_validation () =
+  let rng = Rng.create 0 in
+  let expect_invalid name spec =
+    Alcotest.(check bool)
+      name true
+      (try
+         ignore (Workload.make spec ~n:4 ~rng);
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "bad mean" (Workload.Global_poisson { mean_interarrival = 0.0 });
+  expect_invalid "bad node" (Workload.Continuous { node = 9 });
+  expect_invalid "bad burst" (Workload.Burst { period = 1.0; size = 9 });
+  expect_invalid "bad bias"
+    (Workload.Hotspot { mean_interarrival = 1.0; hot = 0; bias = 2.0 });
+  expect_invalid "unsorted script" (Workload.Script [ (2.0, 1); (1.0, 0) ])
+
+let test_workload_script_batches () =
+  let rng = Rng.create 0 in
+  let w =
+    Workload.make (Workload.Script [ (1.0, 0); (1.0, 2); (5.0, 1) ]) ~n:4 ~rng
+  in
+  (match Workload.first w with
+  | Some (t, nodes) ->
+      check_float "time" 1.0 t;
+      Alcotest.(check (list int)) "simultaneous batch" [ 0; 2 ] nodes
+  | None -> Alcotest.fail "expected first batch");
+  (match Workload.next w ~after:1.0 with
+  | Some (t, nodes) ->
+      check_float "second" 5.0 t;
+      Alcotest.(check (list int)) "single" [ 1 ] nodes
+  | None -> Alcotest.fail "expected second batch");
+  Alcotest.(check bool) "exhausted" true (Workload.next w ~after:5.0 = None)
+
+let test_workload_poisson_monotone () =
+  let rng = Rng.create 9 in
+  let w =
+    Workload.make (Workload.Global_poisson { mean_interarrival = 2.0 }) ~n:8 ~rng
+  in
+  let rec walk last remaining =
+    if remaining = 0 then ()
+    else
+      match Workload.next w ~after:last with
+      | Some (t, [ node ]) ->
+          if t <= last then Alcotest.fail "time must advance";
+          if node < 0 || node >= 8 then Alcotest.fail "node out of range";
+          walk t (remaining - 1)
+      | Some _ -> Alcotest.fail "poisson emits single nodes"
+      | None -> Alcotest.fail "poisson is endless"
+  in
+  let t0, _ = Option.get (Workload.first w) in
+  walk t0 50
+
+let test_workload_burst_distinct () =
+  let rng = Rng.create 4 in
+  let w = Workload.make (Workload.Burst { period = 3.0; size = 4 }) ~n:6 ~rng in
+  match Workload.first w with
+  | Some (t, nodes) ->
+      check_float "period" 3.0 t;
+      Alcotest.(check int) "size" 4 (List.length nodes);
+      Alcotest.(check int) "distinct" 4
+        (List.length (List.sort_uniq compare nodes))
+  | None -> Alcotest.fail "burst has arrivals"
+
+let test_workload_hotspot_bias () =
+  let rng = Rng.create 2 in
+  let w =
+    Workload.make
+      (Workload.Hotspot { mean_interarrival = 1.0; hot = 3; bias = 0.8 })
+      ~n:8 ~rng
+  in
+  let hot = ref 0 and total = 500 in
+  let last = ref 0.0 in
+  for _ = 1 to total do
+    match Workload.next w ~after:!last with
+    | Some (t, [ node ]) ->
+        if node = 3 then incr hot;
+        last := t
+    | _ -> Alcotest.fail "hotspot emits single nodes"
+  done;
+  let share = float_of_int !hot /. float_of_int total in
+  Alcotest.(check bool) "hot node gets ~80%+" true (share > 0.7)
+
+let test_workload_per_node_poisson () =
+  let rng = Rng.create 6 in
+  let w =
+    Workload.make (Workload.Per_node_poisson { mean_interarrival = 5.0 }) ~n:3
+      ~rng
+  in
+  let counts = Array.make 3 0 in
+  let last = ref (-1.0) in
+  for _ = 1 to 300 do
+    match Workload.next w ~after:!last with
+    | Some (t, [ node ]) ->
+        if t < !last then Alcotest.fail "time went backwards";
+        counts.(node) <- counts.(node) + 1;
+        last := t
+    | _ -> Alcotest.fail "per-node poisson emits single nodes"
+  done;
+  Array.iter
+    (fun c -> if c < 60 then Alcotest.failf "node starved: %d arrivals" c)
+    counts
+
+let test_workload_continuous () =
+  let rng = Rng.create 1 in
+  let w = Workload.make (Workload.Continuous { node = 2 }) ~n:4 ~rng in
+  Alcotest.(check bool) "single initial arrival" true
+    (Workload.first w = Some (0.0, [ 2 ]));
+  Alcotest.(check bool) "no scheduled repeats" true
+    (Workload.next w ~after:0.0 = None);
+  Alcotest.(check bool) "rerequest flag" true
+    (Workload.wants_immediate_rerequest w 2);
+  Alcotest.(check bool) "only that node" false
+    (Workload.wants_immediate_rerequest w 1)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics_responsiveness_semantics () =
+  let m = Metrics.create ~n:4 in
+  (* Busy window: r1 at t=1, r2 at t=2; serves at t=5 and t=9. The first
+     sample measures from the window opening (t=1); the second from the
+     previous service (t=5), because demand never drained. *)
+  Metrics.on_request m ~time:1.0 ~node:0;
+  Metrics.on_request m ~time:2.0 ~node:1;
+  Metrics.on_serve m ~time:5.0 ~node:0;
+  Metrics.on_serve m ~time:9.0 ~node:1;
+  let q = Metrics.responsiveness_quantiles m in
+  check_float "first sample" 4.0 (Tr_stats.Quantile.quantile q 0.0);
+  check_float "second sample" 4.0 (Tr_stats.Quantile.quantile q 1.0);
+  check_float "mean waiting" 5.5 (Tr_stats.Summary.mean (Metrics.waiting m))
+
+let test_metrics_idle_gap_resets_window () =
+  let m = Metrics.create ~n:2 in
+  Metrics.on_request m ~time:1.0 ~node:0;
+  Metrics.on_serve m ~time:2.0 ~node:0;
+  (* System idle in (2, 10): the next window opens at the request. *)
+  Metrics.on_request m ~time:10.0 ~node:1;
+  Metrics.on_serve m ~time:12.0 ~node:1;
+  let q = Metrics.responsiveness_quantiles m in
+  check_float "second window" 2.0 (Tr_stats.Quantile.quantile q 1.0)
+
+let test_metrics_serve_without_request () =
+  let m = Metrics.create ~n:2 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Metrics.on_serve m ~time:1.0 ~node:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_fifo_waiting () =
+  let m = Metrics.create ~n:1 in
+  Metrics.on_request m ~time:1.0 ~node:0;
+  Metrics.on_request m ~time:5.0 ~node:0;
+  Metrics.on_serve m ~time:6.0 ~node:0;
+  (* served the t=1 request: waited 5; t=5 request still queued *)
+  check_float "oldest first" 5.0 (Tr_stats.Summary.last (Metrics.waiting m));
+  Alcotest.(check (option (float 1e-9)))
+    "next oldest" (Some 5.0)
+    (Metrics.oldest_arrival m ~node:0)
+
+let test_metrics_messages_and_possessions () =
+  let m = Metrics.create ~n:3 in
+  Metrics.on_message m Network.Reliable Metrics.Token_msg;
+  Metrics.on_message m Network.Cheap Metrics.Control_msg;
+  Metrics.on_message m Network.Cheap Metrics.Token_msg;
+  Alcotest.(check int) "token" 2 (Metrics.token_messages m);
+  Alcotest.(check int) "control" 1 (Metrics.control_messages m);
+  Alcotest.(check int) "cheap channel" 2 (Metrics.cheap_messages m);
+  Metrics.on_token_possession m ~node:1;
+  Metrics.on_token_possession m ~node:1;
+  Metrics.on_token_possession m ~node:2;
+  Alcotest.(check int) "max possessions" 2 (Metrics.max_possessions m);
+  check_float "imbalance" 2.0 (Metrics.possession_imbalance m)
+
+let test_metrics_waiting_fairness () =
+  let m = Metrics.create ~n:3 in
+  Alcotest.(check bool) "nan before serves" true
+    (Float.is_nan (Metrics.waiting_fairness m));
+  (* Two nodes wait equally -> index 1. *)
+  Metrics.on_request m ~time:0.0 ~node:0;
+  Metrics.on_serve m ~time:2.0 ~node:0;
+  Metrics.on_request m ~time:10.0 ~node:1;
+  Metrics.on_serve m ~time:12.0 ~node:1;
+  check_float "equal waits" 1.0 (Metrics.waiting_fairness m);
+  (* A third node waiting much longer drags the index below 1. *)
+  Metrics.on_request m ~time:20.0 ~node:2;
+  Metrics.on_serve m ~time:40.0 ~node:2;
+  Alcotest.(check bool) "skew detected" true (Metrics.waiting_fairness m < 0.7);
+  check_float "per-node summary" 20.0
+    (Tr_stats.Summary.mean (Metrics.waiting_by_node m ~node:2))
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:1.0 (Trace.Request { node = 0 });
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t)
+
+let test_trace_possessions () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 (Trace.Token_at { node = 0 });
+  Trace.record t ~time:2.0 (Trace.Request { node = 1 });
+  Trace.record t ~time:3.0 (Trace.Token_at { node = 1 });
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "possessions"
+    [ (1.0, 0); (3.0, 1) ]
+    (Trace.token_possessions t)
+
+let test_trace_series () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 (Trace.Request { node = 0 });
+  Trace.record t ~time:2.0 (Trace.Request { node = 1 });
+  Trace.record t ~time:3.0 (Trace.Served { node = 0; waited = 2.0 });
+  Trace.record t ~time:5.0 (Trace.Served { node = 1; waited = 3.0 });
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "pending"
+    [ (1.0, 1); (2.0, 2); (3.0, 1); (5.0, 0) ]
+    (Trace.pending_series t);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "served" [ (3.0, 1); (5.0, 2) ] (Trace.served_series t);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "running mean (window 2)"
+    [ (3.0, 2.0); (5.0, 2.5) ]
+    (Trace.running_mean_waiting t ~window:2)
+
+let test_trace_running_mean_window_slides () =
+  let t = Trace.create () in
+  List.iteri
+    (fun i w ->
+      Trace.record t ~time:(float_of_int i) (Trace.Served { node = 0; waited = w }))
+    [ 10.0; 20.0; 30.0; 40.0 ];
+  let last = List.nth (Trace.running_mean_waiting t ~window:2) 3 in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9)))
+    "last two only" (3.0, 35.0) last
+
+(* ---------------- Engine ---------------- *)
+
+(* A minimal ping protocol: node 0 sends Ping around the ring forever;
+   each node serves local requests on receipt. *)
+module Ping = struct
+  type state = { seen : int }
+  type msg = Ping of int
+
+  let name = "ping"
+  let describe = "test protocol"
+  let classify (Ping _) = Metrics.Token_msg
+  let label (Ping k) = Printf.sprintf "ping%d" k
+
+  let init (ctx : msg Node_intf.ctx) =
+    if ctx.self = 0 then ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n 0) (Ping 1);
+    { seen = 0 }
+
+  let on_message (ctx : msg Node_intf.ctx) state ~src:_ (Ping k) =
+    ctx.possession ();
+    while ctx.pending () > 0 do
+      ctx.serve ()
+    done;
+    ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self) (Ping (k + 1));
+    { seen = state.seen + 1 }
+
+  let on_timer _ctx state ~key:_ = state
+  let on_request _ctx state = state
+end
+
+module E = Engine.Make (Ping)
+
+let test_engine_unit_delay_rotation () =
+  let t = E.create (Engine.default_config ~n:4 ~seed:0) in
+  E.run t ~stop:(Engine.At_time 10.0);
+  (* One hop per unit: the init send plus one per delivery through t=10. *)
+  Alcotest.(check int) "token messages" 11 (Metrics.token_messages (E.metrics t));
+  Alcotest.(check bool) "clock within bound" true (E.now t <= 10.0)
+
+let test_engine_serves_and_stops () =
+  let config =
+    {
+      (Engine.default_config ~n:4 ~seed:0) with
+      workload = Workload.Script [ (2.5, 2); (3.5, 3) ];
+    }
+  in
+  let t = E.create config in
+  E.run t ~stop:(Engine.After_serves 2);
+  Alcotest.(check int) "both served" 2 (Metrics.serves (E.metrics t));
+  let w = Metrics.waiting (E.metrics t) in
+  (* Each request waits at most one full revolution of the ping. *)
+  Alcotest.(check bool) "waited for next visit" true
+    (Tr_stats.Summary.max w <= 4.0)
+
+let test_engine_determinism () =
+  let run seed =
+    let config =
+      {
+        (Engine.default_config ~n:5 ~seed) with
+        workload = Workload.Global_poisson { mean_interarrival = 3.0 };
+      }
+    in
+    let t = E.create config in
+    E.run t ~stop:(Engine.After_serves 50);
+    (E.now t, Metrics.token_messages (E.metrics t))
+  in
+  Alcotest.(check (pair (float 1e-9) int)) "same seed same run" (run 5) (run 5);
+  Alcotest.(check bool) "different seed differs" true (run 5 <> run 6)
+
+let test_engine_crash_blackholes () =
+  let config =
+    { (Engine.default_config ~n:3 ~seed:0) with crashes = [ (4.5, 2) ] }
+  in
+  let t = E.create config in
+  E.run t ~stop:(Engine.At_time 20.0);
+  Alcotest.(check bool) "crashed flag" true (E.crashed t 2);
+  (* The ping dies when it hits the crashed node. *)
+  Alcotest.(check bool) "rotation stopped" true
+    (Metrics.token_messages (E.metrics t) < 8)
+
+let test_engine_request_now () =
+  let t = E.create (Engine.default_config ~n:4 ~seed:0) in
+  E.run t ~stop:(Engine.At_time 1.5);
+  E.request_now t ~node:3;
+  E.run t ~stop:(Engine.After_serves 1);
+  Alcotest.(check int) "served the manual request" 1 (Metrics.serves (E.metrics t))
+
+module Timers = struct
+  type state = { fired : int list }
+  type msg = Never [@warning "-37"] (* the protocol never sends *)
+
+  let name = "timers"
+  let describe = "timer test protocol"
+  let classify Never = Metrics.Control_msg
+  let label Never = "never"
+
+  let init (ctx : msg Node_intf.ctx) =
+    if ctx.self = 0 then begin
+      ctx.set_timer ~delay:1.0 ~key:1;
+      ctx.set_timer ~delay:2.0 ~key:2;
+      ctx.set_timer ~delay:3.0 ~key:1
+    end;
+    { fired = [] }
+
+  let on_message _ctx state ~src:_ Never = state
+
+  let on_timer (ctx : msg Node_intf.ctx) state ~key =
+    (* Cancelling inside a handler voids the later key-1 timer. *)
+    if key = 2 then ctx.cancel_timers ~key:1;
+    { fired = key :: state.fired }
+
+  let on_request _ctx state = state
+end
+
+module Rogue = struct
+  type state = unit
+  type msg = Out
+
+  let name = "rogue"
+  let describe = "sends out of range"
+  let classify Out = Metrics.Control_msg
+  let label Out = "out"
+
+  let init (ctx : msg Node_intf.ctx) =
+    if ctx.self = 0 then ctx.send ~dst:99 Out;
+    ()
+
+  let on_message _ctx state ~src:_ Out = state
+  let on_timer _ctx state ~key:_ = state
+  let on_request _ctx state = state
+end
+
+let test_engine_rejects_bad_send () =
+  let module ER = Engine.Make (Rogue) in
+  Alcotest.(check bool) "out-of-range dst raises at init" true
+    (try
+       ignore (ER.create (Engine.default_config ~n:4 ~seed:0));
+       false
+     with Invalid_argument _ -> true)
+
+module NegTimer = struct
+  type state = unit
+  type msg = Never2 [@warning "-37"]
+
+  let name = "neg-timer"
+  let describe = "sets a negative timer"
+  let classify Never2 = Metrics.Control_msg
+  let label Never2 = "never"
+
+  let init (ctx : msg Node_intf.ctx) =
+    if ctx.self = 0 then ctx.set_timer ~delay:(-1.0) ~key:1;
+    ()
+
+  let on_message _ctx state ~src:_ Never2 = state
+  let on_timer _ctx state ~key:_ = state
+  let on_request _ctx state = state
+end
+
+let test_engine_rejects_negative_timer () =
+  let module EN = Engine.Make (NegTimer) in
+  Alcotest.(check bool) "negative delay raises" true
+    (try
+       ignore (EN.create (Engine.default_config ~n:2 ~seed:0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_n_too_small () =
+  Alcotest.(check bool) "n < 2 rejected" true
+    (try
+       ignore (E.create (Engine.default_config ~n:1 ~seed:0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_timer_cancellation () =
+  let module ET = Engine.Make (Timers) in
+  let t = ET.create (Engine.default_config ~n:2 ~seed:0) in
+  ET.run t ~stop:(Engine.At_time 10.0);
+  Alcotest.(check (list int)) "t=3 key-1 cancelled by key-2 at t=2" [ 2; 1 ]
+    (ET.state t 0).Timers.fired
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_changes_stream;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ]
+        @ qsuite [ prop_rng_int_bounds; prop_rng_float_bounds ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek/clear" `Quick test_pqueue_peek_clear;
+        ]
+        @ qsuite [ prop_pqueue_sorted ] );
+      ( "network",
+        [
+          Alcotest.test_case "constant delay" `Quick test_network_constant_delay;
+          Alcotest.test_case "uniform bounds" `Quick test_network_uniform_delay_bounds;
+          Alcotest.test_case "per-link delay" `Quick test_network_per_link_delay;
+          Alcotest.test_case "drop probability" `Quick test_network_drop_probability;
+          Alcotest.test_case "partition" `Quick test_network_partition;
+          Alcotest.test_case "invalid" `Quick test_network_invalid;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "script batches" `Quick test_workload_script_batches;
+          Alcotest.test_case "poisson monotone" `Quick test_workload_poisson_monotone;
+          Alcotest.test_case "burst distinct" `Quick test_workload_burst_distinct;
+          Alcotest.test_case "hotspot bias" `Quick test_workload_hotspot_bias;
+          Alcotest.test_case "per-node poisson" `Quick test_workload_per_node_poisson;
+          Alcotest.test_case "continuous" `Quick test_workload_continuous;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "responsiveness semantics" `Quick
+            test_metrics_responsiveness_semantics;
+          Alcotest.test_case "idle gap resets window" `Quick
+            test_metrics_idle_gap_resets_window;
+          Alcotest.test_case "serve without request" `Quick
+            test_metrics_serve_without_request;
+          Alcotest.test_case "fifo waiting" `Quick test_metrics_fifo_waiting;
+          Alcotest.test_case "messages/possessions" `Quick
+            test_metrics_messages_and_possessions;
+          Alcotest.test_case "waiting fairness" `Quick test_metrics_waiting_fairness;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "possessions" `Quick test_trace_possessions;
+          Alcotest.test_case "series" `Quick test_trace_series;
+          Alcotest.test_case "running-mean window" `Quick
+            test_trace_running_mean_window_slides;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "unit delay rotation" `Quick
+            test_engine_unit_delay_rotation;
+          Alcotest.test_case "serves and stops" `Quick test_engine_serves_and_stops;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "crash blackholes" `Quick test_engine_crash_blackholes;
+          Alcotest.test_case "request_now" `Quick test_engine_request_now;
+          Alcotest.test_case "timer cancellation" `Quick
+            test_engine_timer_cancellation;
+          Alcotest.test_case "rejects bad send" `Quick test_engine_rejects_bad_send;
+          Alcotest.test_case "rejects negative timer" `Quick
+            test_engine_rejects_negative_timer;
+          Alcotest.test_case "n too small" `Quick test_engine_n_too_small;
+        ] );
+    ]

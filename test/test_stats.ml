@@ -1,0 +1,311 @@
+(* Unit and property tests for Tr_stats: summaries, quantiles,
+   histograms, series tables. *)
+
+module Summary = Tr_stats.Summary
+module Quantile = Tr_stats.Quantile
+module Histogram = Tr_stats.Histogram
+module Series = Tr_stats.Series
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg expected got = Alcotest.(check (float 1e-6)) msg expected got
+
+(* ---------------- Summary ---------------- *)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean s));
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Summary.min s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Summary.variance s))
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 42.0;
+  check_float "mean" 42.0 (Summary.mean s);
+  check_float "min" 42.0 (Summary.min s);
+  check_float "max" 42.0 (Summary.max s);
+  check_float "total" 42.0 (Summary.total s);
+  Alcotest.(check bool) "variance of 1 sample is nan" true
+    (Float.is_nan (Summary.variance s))
+
+let test_summary_known_values () =
+  let s = Summary.create () in
+  Summary.add_many s [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_close "mean" 5.0 (Summary.mean s);
+  (* Sample variance with n-1: sum of squared devs = 32, 32/7. *)
+  check_close "variance" (32.0 /. 7.0) (Summary.variance s);
+  check_float "min" 2.0 (Summary.min s);
+  check_float "max" 9.0 (Summary.max s);
+  check_float "last" 9.0 (Summary.last s)
+
+let test_summary_nan_excluded () =
+  let s = Summary.create () in
+  Summary.add s 1.0;
+  Summary.add s nan;
+  Summary.add s 3.0;
+  Alcotest.(check int) "count" 2 (Summary.count s);
+  Alcotest.(check int) "nan_count" 1 (Summary.nan_count s);
+  check_close "mean" 2.0 (Summary.mean s)
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add_many a [ 1.0; 2.0; 3.0 ];
+  Summary.add_many b [ 10.0; 20.0 ];
+  let m = Summary.merge a b in
+  let direct = Summary.create () in
+  Summary.add_many direct [ 1.0; 2.0; 3.0; 10.0; 20.0 ];
+  Alcotest.(check int) "count" (Summary.count direct) (Summary.count m);
+  check_close "mean" (Summary.mean direct) (Summary.mean m);
+  check_close "variance" (Summary.variance direct) (Summary.variance m);
+  check_float "min" 1.0 (Summary.min m);
+  check_float "max" 20.0 (Summary.max m);
+  (* merge must not mutate its arguments *)
+  Alcotest.(check int) "a untouched" 3 (Summary.count a)
+
+let test_summary_merge_empty () =
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add b 5.0;
+  check_close "empty+b" 5.0 (Summary.mean (Summary.merge a b));
+  check_close "b+empty" 5.0 (Summary.mean (Summary.merge b a))
+
+let test_summary_copy_independent () =
+  let a = Summary.create () in
+  Summary.add a 1.0;
+  let b = Summary.copy a in
+  Summary.add b 100.0;
+  Alcotest.(check int) "a unchanged" 1 (Summary.count a);
+  Alcotest.(check int) "b extended" 2 (Summary.count b)
+
+let prop_welford_matches_two_pass =
+  QCheck.Test.make ~name:"welford variance = two-pass variance" ~count:200
+    QCheck.(list_of_size Gen.(2 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (List.length xs >= 2);
+      let s = Summary.create () in
+      Summary.add_many s xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      Float.abs (Summary.variance s -. var) < 1e-6 *. (1.0 +. var))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Summary.create () in
+      Summary.add_many s xs;
+      Summary.mean s >= Summary.min s -. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+(* ---------------- Quantile ---------------- *)
+
+let test_quantile_empty () =
+  let q = Quantile.create () in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Quantile.median q))
+
+let test_quantile_extremes () =
+  let q = Quantile.create () in
+  Quantile.add_many q [ 5.0; 1.0; 3.0 ];
+  check_float "q0 = min" 1.0 (Quantile.quantile q 0.0);
+  check_float "q1 = max" 5.0 (Quantile.quantile q 1.0);
+  check_float "median" 3.0 (Quantile.median q)
+
+let test_quantile_interpolation () =
+  let q = Quantile.create () in
+  Quantile.add_many q [ 0.0; 10.0 ];
+  check_float "q0.25 interpolates" 2.5 (Quantile.quantile q 0.25)
+
+let test_quantile_invalid () =
+  let q = Quantile.create () in
+  Quantile.add q 1.0;
+  Alcotest.check_raises "q > 1" (Invalid_argument "Quantile.quantile: q outside [0,1]")
+    (fun () -> ignore (Quantile.quantile q 1.5))
+
+let test_quantile_add_after_query () =
+  let q = Quantile.create () in
+  Quantile.add_many q [ 1.0; 2.0; 3.0 ];
+  ignore (Quantile.median q);
+  Quantile.add q 100.0;
+  check_float "max updated" 100.0 (Quantile.quantile q 1.0)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0))
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      let t = Quantile.create () in
+      Quantile.add_many t xs;
+      Quantile.quantile t lo <= Quantile.quantile t hi +. 1e-9)
+
+let prop_iqr_nonnegative =
+  QCheck.Test.make ~name:"IQR >= 0" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let t = Quantile.create () in
+      Quantile.add_many t xs;
+      Quantile.iqr t >= -1e-9)
+
+(* ---------------- Histogram ---------------- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Histogram.add_many h [ 0.5; 1.5; 2.5; 9.9; -1.0; 10.0; 11.0 ];
+  Alcotest.(check int) "count includes flows" 7 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 1 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 4" 1 (Histogram.bin_count h 4);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow (hi inclusive above)" 2 (Histogram.overflow h)
+
+let test_histogram_bounds () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let lo, hi = Histogram.bin_bounds h 1 in
+  check_float "bin 1 lo" 0.25 lo;
+  check_float "bin 1 hi" 0.5 hi
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create: hi <= lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:3));
+  Alcotest.check_raises "bins<1" (Invalid_argument "Histogram.create: bins < 1")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+let test_histogram_mode () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  Alcotest.(check int) "empty mode" (-1) (Histogram.mode_bin h);
+  Histogram.add_many h [ 2.1; 2.2; 0.5 ];
+  Alcotest.(check int) "mode" 2 (Histogram.mode_bin h)
+
+let prop_histogram_conserves_count =
+  QCheck.Test.make ~name:"bins + flows = count" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 60) (float_range (-5.0) 15.0))
+    (fun xs ->
+      let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:7 in
+      Histogram.add_many h xs;
+      let bins = List.init 7 (fun i -> Histogram.bin_count h i) in
+      List.fold_left ( + ) 0 bins + Histogram.underflow h + Histogram.overflow h
+      = Histogram.count h)
+
+(* ---------------- Series ---------------- *)
+
+let test_series_basic () =
+  let s = Series.create ~name:"s" in
+  Series.add s ~x:1.0 ~y:10.0;
+  Series.add s ~x:2.0 ~y:20.0;
+  Alcotest.(check int) "length" 2 (Series.length s);
+  Alcotest.(check (option (float 1e-9))) "y_at 2" (Some 20.0) (Series.y_at s 2.0);
+  Alcotest.(check (option (float 1e-9))) "y_at missing" None (Series.y_at s 3.0)
+
+let test_series_last_wins () =
+  let s = Series.create ~name:"s" in
+  Series.add s ~x:1.0 ~y:10.0;
+  Series.add s ~x:1.0 ~y:99.0;
+  Alcotest.(check (option (float 1e-9))) "last value" (Some 99.0) (Series.y_at s 1.0)
+
+let test_series_map_y () =
+  let s = Series.create ~name:"s" in
+  Series.add s ~x:1.0 ~y:10.0;
+  let doubled = Series.map_y s ~f:(fun y -> 2.0 *. y) in
+  Alcotest.(check (option (float 1e-9))) "doubled" (Some 20.0) (Series.y_at doubled 1.0);
+  Alcotest.(check (option (float 1e-9))) "original intact" (Some 10.0) (Series.y_at s 1.0)
+
+let test_table_union_and_missing () =
+  let a = Series.create ~name:"a" and b = Series.create ~name:"b" in
+  Series.add a ~x:1.0 ~y:1.0;
+  Series.add a ~x:2.0 ~y:2.0;
+  Series.add b ~x:2.0 ~y:20.0;
+  Series.add b ~x:3.0 ~y:30.0;
+  let table = Series.Table.of_series ~x_label:"x" [ a; b ] in
+  let text = Format.asprintf "%a" Series.Table.pp table in
+  Alcotest.(check bool) "header has names" true
+    (Astring.String.is_infix ~affix:"a" text && Astring.String.is_infix ~affix:"b" text);
+  let csv = Series.Table.to_csv table in
+  (* x = 1 has no b value; x = 3 has no a value *)
+  Alcotest.(check bool) "missing cells rendered" true
+    (Astring.String.is_infix ~affix:"1,1,-" csv
+    && Astring.String.is_infix ~affix:"3,-,30" csv)
+
+(* ---------------- Plot ---------------- *)
+
+let test_plot_empty () =
+  Alcotest.(check string) "placeholder" "(empty plot)\n" (Tr_stats.Plot.render [])
+
+let test_plot_contains_glyphs_and_legend () =
+  let a = Series.create ~name:"alpha" and b = Series.create ~name:"beta" in
+  List.iter (fun x -> Series.add a ~x ~y:x) [ 1.0; 2.0; 3.0 ];
+  List.iter (fun x -> Series.add b ~x ~y:(10.0 -. x)) [ 1.0; 2.0; 3.0 ];
+  let out = Tr_stats.Plot.render ~width:30 ~height:8 [ a; b ] in
+  Alcotest.(check bool) "legend names" true
+    (Astring.String.is_infix ~affix:"alpha" out
+    && Astring.String.is_infix ~affix:"beta" out);
+  Alcotest.(check bool) "both glyphs plotted" true
+    (String.contains out '*' && String.contains out '+')
+
+let test_plot_log_scale_skips_nonpositive () =
+  let s = Series.create ~name:"s" in
+  Series.add s ~x:1.0 ~y:(-5.0);
+  Series.add s ~x:2.0 ~y:100.0;
+  let out = Tr_stats.Plot.render ~y_scale:Tr_stats.Plot.Log [ s ] in
+  (* The negative point is dropped; the plot still renders. *)
+  Alcotest.(check bool) "renders" true (String.length out > 20)
+
+let test_plot_single_point () =
+  let s = Series.create ~name:"s" in
+  Series.add s ~x:5.0 ~y:5.0;
+  let out = Tr_stats.Plot.render [ s ] in
+  Alcotest.(check bool) "single point ok" true (String.contains out '*')
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "single" `Quick test_summary_single;
+          Alcotest.test_case "known values" `Quick test_summary_known_values;
+          Alcotest.test_case "nan excluded" `Quick test_summary_nan_excluded;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "merge empty" `Quick test_summary_merge_empty;
+          Alcotest.test_case "copy independent" `Quick test_summary_copy_independent;
+        ]
+        @ qsuite [ prop_welford_matches_two_pass; prop_mean_bounded ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "empty" `Quick test_quantile_empty;
+          Alcotest.test_case "extremes" `Quick test_quantile_extremes;
+          Alcotest.test_case "interpolation" `Quick test_quantile_interpolation;
+          Alcotest.test_case "invalid q" `Quick test_quantile_invalid;
+          Alcotest.test_case "add after query" `Quick test_quantile_add_after_query;
+        ]
+        @ qsuite [ prop_quantile_monotone; prop_iqr_nonnegative ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram_basic;
+          Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+          Alcotest.test_case "invalid" `Quick test_histogram_invalid;
+          Alcotest.test_case "mode" `Quick test_histogram_mode;
+        ]
+        @ qsuite [ prop_histogram_conserves_count ] );
+      ( "series",
+        [
+          Alcotest.test_case "basic" `Quick test_series_basic;
+          Alcotest.test_case "last wins" `Quick test_series_last_wins;
+          Alcotest.test_case "map_y" `Quick test_series_map_y;
+          Alcotest.test_case "table union/missing" `Quick test_table_union_and_missing;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "glyphs and legend" `Quick
+            test_plot_contains_glyphs_and_legend;
+          Alcotest.test_case "log scale" `Quick test_plot_log_scale_skips_nonpositive;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+        ] );
+    ]
