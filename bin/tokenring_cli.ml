@@ -26,6 +26,21 @@ let serves =
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps (for smoke runs).")
 
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Domains for parallel sweeps (default: all cores). Results are \
+           byte-identical to -j 1 — seeded determinism survives parallelism.")
+
+(* [0] (the default) means "all cores". A pool of 1 domain is just the
+   calling domain, so only J >= 2 spawns anything. *)
+let with_jobs jobs f =
+  let domains = if jobs <= 0 then Tr_sim.Pool.default_domains () else jobs in
+  if domains <= 1 then f None
+  else Tr_sim.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 let protocol_arg =
   let doc =
     Printf.sprintf "Protocol to run. One of: %s."
@@ -125,8 +140,10 @@ let run_cmd =
 (* ---------------- exp ---------------- *)
 
 let exp_cmd =
-  let run id quick seed csv json =
-    let results = Tokenring.Experiments.all ~quick ~seed () in
+  let run id quick seed csv json jobs =
+    let results =
+      with_jobs jobs (fun pool -> Tokenring.Experiments.all ?pool ~quick ~seed ())
+    in
     let wanted r =
       String.equal id "all"
       || String.equal (String.uppercase_ascii id) r.Tokenring.Experiments.id
@@ -160,7 +177,8 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Regenerate the paper's figures and claims as tables")
     Term.(
       const run $ id $ quick $ seed $ csv
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON."))
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.")
+      $ jobs)
 
 (* ---------------- compare ---------------- *)
 

@@ -12,6 +12,12 @@ type result = {
 
 let log2 x = log x /. log 2.0
 
+(* Sweep points are independent seeded runs, so a pool may fan them out
+   across domains; results always come back in input order, which keeps
+   every table byte-identical to the sequential run. *)
+let pmap ?pool f xs =
+  match pool with None -> List.map f xs | Some pool -> Pool.map pool f xs
+
 let config ~n ~seed ~workload =
   { (Engine.default_config ~n ~seed) with workload }
 
@@ -29,22 +35,39 @@ let mean_responsiveness outcome =
 (* Figure 9: fixed load, sweep N                                       *)
 (* ------------------------------------------------------------------ *)
 
-let fig9 ?(quick = false) ?(seed = 42) () =
+let fig9 ?pool ?(quick = false) ?(seed = 42) () =
   let ns = if quick then [ 8; 16; 32 ] else [ 4; 8; 16; 32; 64; 100; 128; 256 ] in
   let serves = if quick then 300 else 2000 in
   let ring = Series.create ~name:"ring" in
   let bin = Series.create ~name:"binsearch" in
   let reference = Series.create ~name:"log2(n)" in
-  List.iter
-    (fun n ->
-      let cfg = config ~n ~seed ~workload:(poisson 10.0) in
-      let r = Runner.run Tr_proto.Ring.protocol cfg ~stop:(steady_stop serves) in
-      let b = Runner.run Tr_proto.Binsearch.protocol cfg ~stop:(steady_stop serves) in
-      let x = float_of_int n in
-      Series.add ring ~x ~y:(mean_responsiveness r);
-      Series.add bin ~x ~y:(mean_responsiveness b);
-      Series.add reference ~x ~y:(log2 x))
-    ns;
+  (* One job per (size, protocol) point for load balance: the ring runs
+     dominate, so pairing them with the cheap binsearch runs in a single
+     job would leave domains idle. *)
+  let jobs =
+    List.concat_map
+      (fun n -> [ (n, Tr_proto.Ring.protocol); (n, Tr_proto.Binsearch.protocol) ])
+      ns
+  in
+  let ys =
+    pmap ?pool
+      (fun (n, protocol) ->
+        let cfg = config ~n ~seed ~workload:(poisson 10.0) in
+        mean_responsiveness (Runner.run protocol cfg ~stop:(steady_stop serves)))
+      jobs
+  in
+  let rec fill ns ys =
+    match (ns, ys) with
+    | [], [] -> ()
+    | n :: ns', y_ring :: y_bin :: ys' ->
+        let x = float_of_int n in
+        Series.add ring ~x ~y:y_ring;
+        Series.add bin ~x ~y:y_bin;
+        Series.add reference ~x ~y:(log2 x);
+        fill ns' ys'
+    | _ -> assert false
+  in
+  fill ns ys;
   {
     id = "FIG9";
     title = "Average responsiveness vs ring size (fixed load, 1 request / 10 time units)";
@@ -59,7 +82,7 @@ let fig9 ?(quick = false) ?(seed = 42) () =
 (* Figure 10: fixed N, sweep load                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fig10 ?(quick = false) ?(seed = 42) () =
+let fig10 ?pool ?(quick = false) ?(seed = 42) () =
   let n = 100 in
   let means =
     if quick then [ 5.0; 50.0; 400.0 ]
@@ -70,16 +93,31 @@ let fig10 ?(quick = false) ?(seed = 42) () =
   let bin = Series.create ~name:"binsearch" in
   let half_n = Series.create ~name:"n/2" in
   let logn = Series.create ~name:"log2(n)" in
-  List.iter
-    (fun mean ->
-      let cfg = config ~n ~seed ~workload:(poisson mean) in
-      let r = Runner.run Tr_proto.Ring.protocol cfg ~stop:(steady_stop serves) in
-      let b = Runner.run Tr_proto.Binsearch.protocol cfg ~stop:(steady_stop serves) in
-      Series.add ring ~x:mean ~y:(mean_responsiveness r);
-      Series.add bin ~x:mean ~y:(mean_responsiveness b);
-      Series.add half_n ~x:mean ~y:(float_of_int n /. 2.0);
-      Series.add logn ~x:mean ~y:(log2 (float_of_int n)))
-    means;
+  let jobs =
+    List.concat_map
+      (fun mean ->
+        [ (mean, Tr_proto.Ring.protocol); (mean, Tr_proto.Binsearch.protocol) ])
+      means
+  in
+  let ys =
+    pmap ?pool
+      (fun (mean, protocol) ->
+        let cfg = config ~n ~seed ~workload:(poisson mean) in
+        mean_responsiveness (Runner.run protocol cfg ~stop:(steady_stop serves)))
+      jobs
+  in
+  let rec fill means ys =
+    match (means, ys) with
+    | [], [] -> ()
+    | mean :: means', y_ring :: y_bin :: ys' ->
+        Series.add ring ~x:mean ~y:y_ring;
+        Series.add bin ~x:mean ~y:y_bin;
+        Series.add half_n ~x:mean ~y:(float_of_int n /. 2.0);
+        Series.add logn ~x:mean ~y:(log2 (float_of_int n));
+        fill means' ys'
+    | _ -> assert false
+  in
+  fill means ys;
   {
     id = "FIG10";
     title =
@@ -98,37 +136,54 @@ let fig10 ?(quick = false) ?(seed = 42) () =
 
 (* Let the idle rotation reach a steady state, then fire one request at a
    sampled node; repeat for several nodes and keep the worst result. *)
-let single_request_probe protocol ~n ~seed ~measure =
-  let sample_nodes = [ 1; n / 4; n / 2; (3 * n / 4) + 1 ] in
-  List.fold_left
-    (fun worst node ->
-      let node = node mod n in
-      let at = (3.0 *. float_of_int n) +. 0.37 in
-      let cfg =
-        config ~n ~seed ~workload:(Workload.Script [ (at, node) ])
-      in
-      let outcome =
-        Runner.run protocol cfg
-          ~stop:
-            (Engine.First_of
-               [ Engine.After_serves 1; Engine.At_time (at +. (10.0 *. float_of_int n)) ])
-      in
-      Stdlib.max worst (measure outcome))
-    neg_infinity sample_nodes
+let probe_placements n = List.map (fun node -> node mod n) [ 1; n / 4; n / 2; (3 * n / 4) + 1 ]
 
-let lem4 ?(quick = false) ?(seed = 42) () =
+let probe_run protocol ~n ~seed ~node =
+  let at = (3.0 *. float_of_int n) +. 0.37 in
+  let cfg = config ~n ~seed ~workload:(Workload.Script [ (at, node) ]) in
+  Runner.run protocol cfg
+    ~stop:
+      (Engine.First_of
+         [ Engine.After_serves 1; Engine.At_time (at +. (10.0 *. float_of_int n)) ])
+
+(* Worst probe result per ring size, the whole (size × placement) sweep
+   flattened into independent pool jobs. The per-size [max] folds in
+   placement order, exactly as the sequential loop did. *)
+let worst_probes ?pool protocol ~ns ~seed ~measure =
+  let jobs =
+    List.concat_map (fun n -> List.map (fun node -> (n, node)) (probe_placements n)) ns
+  in
+  let values =
+    pmap ?pool (fun (n, node) -> measure (probe_run protocol ~n ~seed ~node)) jobs
+  in
+  let rec group ns values =
+    match ns with
+    | [] ->
+        assert (values = []);
+        []
+    | n :: ns' ->
+        let rec take k worst = function
+          | rest when k = 0 -> (worst, rest)
+          | v :: rest -> take (k - 1) (Stdlib.max worst v) rest
+          | [] -> assert false
+        in
+        let worst, rest =
+          take (List.length (probe_placements n)) neg_infinity values
+        in
+        (n, worst) :: group ns' rest
+  in
+  group ns values
+
+let lem4 ?pool ?(quick = false) ?(seed = 42) () =
   let ns = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128; 256; 512 ] in
   let waiting = Series.create ~name:"ring-worst-wait" in
   let linear = Series.create ~name:"n" in
   List.iter
-    (fun n ->
-      let w =
-        single_request_probe Tr_proto.Ring.protocol ~n ~seed ~measure:(fun o ->
-            Summary.max (Metrics.waiting o.Runner.metrics))
-      in
+    (fun (n, w) ->
       Series.add waiting ~x:(float_of_int n) ~y:w;
       Series.add linear ~x:(float_of_int n) ~y:(float_of_int n))
-    ns;
+    (worst_probes ?pool Tr_proto.Ring.protocol ~ns ~seed ~measure:(fun o ->
+         Summary.max (Metrics.waiting o.Runner.metrics)));
   {
     id = "LEM4";
     title = "Worst-case single-request waiting time, ring";
@@ -137,19 +192,16 @@ let lem4 ?(quick = false) ?(seed = 42) () =
     table = Series.Table.of_series ~x_label:"n" [ waiting; linear ];
   }
 
-let thm2 ?(quick = false) ?(seed = 42) () =
+let thm2 ?pool ?(quick = false) ?(seed = 42) () =
   let ns = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128; 256; 512 ] in
   let waiting = Series.create ~name:"binsearch-worst-wait" in
   let reference = Series.create ~name:"3*log2(n)" in
   List.iter
-    (fun n ->
-      let w =
-        single_request_probe Tr_proto.Binsearch.protocol ~n ~seed
-          ~measure:(fun o -> Summary.max (Metrics.waiting o.Runner.metrics))
-      in
+    (fun (n, w) ->
       Series.add waiting ~x:(float_of_int n) ~y:w;
       Series.add reference ~x:(float_of_int n) ~y:(3.0 *. log2 (float_of_int n)))
-    ns;
+    (worst_probes ?pool Tr_proto.Binsearch.protocol ~ns ~seed ~measure:(fun o ->
+         Summary.max (Metrics.waiting o.Runner.metrics)));
   {
     id = "THM2";
     title = "Worst-case single-request waiting time, binsearch";
@@ -158,19 +210,16 @@ let thm2 ?(quick = false) ?(seed = 42) () =
     table = Series.Table.of_series ~x_label:"n" [ waiting; reference ];
   }
 
-let lem6 ?(quick = false) ?(seed = 42) () =
+let lem6 ?pool ?(quick = false) ?(seed = 42) () =
   let ns = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128; 256; 512 ] in
   let forwards = Series.create ~name:"search-forwards" in
   let reference = Series.create ~name:"log2(n)" in
   List.iter
-    (fun n ->
-      let f =
-        single_request_probe Tr_proto.Binsearch.protocol ~n ~seed
-          ~measure:(fun o -> float_of_int (Metrics.search_forwards o.Runner.metrics))
-      in
+    (fun (n, f) ->
       Series.add forwards ~x:(float_of_int n) ~y:f;
       Series.add reference ~x:(float_of_int n) ~y:(log2 (float_of_int n)))
-    ns;
+    (worst_probes ?pool Tr_proto.Binsearch.protocol ~ns ~seed ~measure:(fun o ->
+         float_of_int (Metrics.search_forwards o.Runner.metrics)));
   {
     id = "LEM6";
     title = "Search-message forwards per request, binsearch";
@@ -455,7 +504,7 @@ let warmup ?(quick = false) ?(seed = 42) () =
 (* State-space growth of the specifications (methodology)              *)
 (* ------------------------------------------------------------------ *)
 
-let spec_space ?(quick = false) ?seed:_ () =
+let spec_space ?pool ?(quick = false) ?seed:_ () =
   let cap = if quick then 1500 else 8000 in
   let specs =
     [
@@ -467,16 +516,33 @@ let spec_space ?(quick = false) ?seed:_ () =
       ("BinSearch", fun n -> (Tr_specs.System_binsearch.system ~n, Tr_specs.System_binsearch.initial ~n ~data_budget:1));
     ]
   in
+  let sizes = [ 2; 3 ] in
+  let jobs =
+    List.concat_map
+      (fun (_, make_spec) -> List.map (fun n -> (make_spec, n)) sizes)
+      specs
+  in
+  let counts =
+    pmap ?pool
+      (fun (make_spec, n) ->
+        let system, init = make_spec n in
+        let stats, _ = Tr_trs.Explore.bfs ~max_states:cap system ~init in
+        stats.Tr_trs.Explore.states)
+      jobs
+  in
+  let remaining = ref counts in
   let series =
     List.map
-      (fun (label, make_spec) ->
+      (fun (label, _) ->
         let s = Series.create ~name:label in
         List.iter
           (fun n ->
-            let system, init = make_spec n in
-            let stats, _ = Tr_trs.Explore.bfs ~max_states:cap system ~init in
-            Series.add s ~x:(float_of_int n) ~y:(float_of_int stats.Tr_trs.Explore.states))
-          [ 2; 3 ];
+            match !remaining with
+            | states :: rest ->
+                remaining := rest;
+                Series.add s ~x:(float_of_int n) ~y:(float_of_int states)
+            | [] -> assert false)
+          sizes;
         s)
       specs
   in
@@ -491,20 +557,20 @@ let spec_space ?(quick = false) ?seed:_ () =
     table = Series.Table.of_series ~x_label:"n" series;
   }
 
-let all ?(quick = false) ?(seed = 42) () =
+let all ?pool ?(quick = false) ?(seed = 42) () =
   [
-    fig9 ~quick ~seed ();
-    fig10 ~quick ~seed ();
-    lem4 ~quick ~seed ();
-    lem6 ~quick ~seed ();
-    thm2 ~quick ~seed ();
+    fig9 ?pool ~quick ~seed ();
+    fig10 ?pool ~quick ~seed ();
+    lem4 ?pool ~quick ~seed ();
+    lem6 ?pool ~quick ~seed ();
+    thm2 ?pool ~quick ~seed ();
     thm3 ~quick ~seed ();
     opt_messages ~quick ~seed ();
     tree_balance ~quick ~seed ();
     adaptive_idle ~quick ~seed ();
     dist ~quick ~seed ();
     warmup ~quick ~seed ();
-    spec_space ~quick ();
+    spec_space ?pool ~quick ();
   ]
 
 let pp_result ppf r =

@@ -8,7 +8,13 @@
 
     The [expectation] field records what the paper predicts for the
     table's shape, so EXPERIMENTS.md can be checked against the output
-    mechanically. *)
+    mechanically.
+
+    Sweeps that fan over independent seeded runs (FIG9, FIG10, the
+    LEM4/LEM6/THM2 placement probes, SPACE) accept an optional
+    [?pool] and distribute their points across its domains. Results are
+    reassembled in sweep order, so tables and plots are byte-identical
+    with and without a pool — parallelism never perturbs the data. *)
 
 type result = {
   id : string;  (** "FIG9", "LEM6", ... — DESIGN.md's experiment index. *)
@@ -18,24 +24,24 @@ type result = {
   table : Tr_stats.Series.Table.t;
 }
 
-val fig9 : ?quick:bool -> ?seed:int -> unit -> result
+val fig9 : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Figure 9: fixed load (one request per 10 time units on average),
     sweep the ring size. Columns: ring and binsearch average
     responsiveness, with log₂ N for reference. *)
 
-val fig10 : ?quick:bool -> ?seed:int -> unit -> result
+val fig10 : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Figure 10: fixed N = 100, sweep the mean interarrival. Ring
     approaches N/2 = 50 as the load lightens; binsearch approaches
     log₂ N ≈ 6.6 from below. *)
 
-val lem4 : ?quick:bool -> ?seed:int -> unit -> result
+val lem4 : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Lemma 4: worst-case single-request waiting time of the ring grows
     linearly with N. *)
 
-val lem6 : ?quick:bool -> ?seed:int -> unit -> result
+val lem6 : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Lemma 6: a binsearch request is forwarded O(log N) times. *)
 
-val thm2 : ?quick:bool -> ?seed:int -> unit -> result
+val thm2 : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Theorem 2: worst-case single-request waiting time of binsearch grows
     logarithmically with N. *)
 
@@ -65,11 +71,11 @@ val warmup : ?quick:bool -> ?seed:int -> unit -> result
 (** Convergence of the running-mean waiting time — evidence for the
     paper's 1000-rounds steady-state horizon. *)
 
-val spec_space : ?quick:bool -> ?seed:int -> unit -> result
+val spec_space : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Methodology artefact: reachable-state counts of the six
     specifications — how much detail each refinement step adds. *)
 
-val all : ?quick:bool -> ?seed:int -> unit -> result list
+val all : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result list
 (** Every experiment, in DESIGN.md index order. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -33,10 +33,17 @@ type ensemble = {
   token_messages_means : Tr_stats.Summary.t;
 }
 
-let run_many protocol (config : Engine.config) ~seeds ~stop =
+let run_many ?pool ?(record_trace = false) protocol (config : Engine.config)
+    ~seeds ~stop =
   if seeds = [] then invalid_arg "Runner.run_many: empty seed list";
+  (* Ensembles drop traces by default: every replicate would otherwise
+     hold O(events) memory for the whole sweep. *)
+  let config = if record_trace then config else { config with trace = false } in
+  let one seed = run protocol { config with seed } ~stop in
   let outcomes =
-    List.map (fun seed -> run protocol { config with seed } ~stop) seeds
+    match pool with
+    | None -> List.map one seeds
+    | Some pool -> Pool.map pool one seeds
   in
   let collect f =
     let s = Tr_stats.Summary.create () in

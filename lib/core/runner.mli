@@ -31,6 +31,8 @@ type ensemble = {
 }
 
 val run_many :
+  ?pool:Pool.t ->
+  ?record_trace:bool ->
   (module Node_intf.PROTOCOL) ->
   Engine.config ->
   seeds:int list ->
@@ -39,6 +41,16 @@ val run_many :
 (** Repeat the run once per seed (overriding [config.seed]) and aggregate
     the per-run summary statistics — the cheap way to put confidence
     intervals on any experiment point.
+
+    [pool] fans the replicates out across domains (each run owns its RNG
+    and engine state, so replicates are data-race-free); outcomes come
+    back in seed order, identical to the sequential result.
+
+    [record_trace] (default [false]) controls whether replicates keep
+    their event traces: an ensemble of traced runs holds O(events)
+    memory per seed, so traces are disabled for ensembles unless asked
+    for — even when [config.trace] is set. Single {!run}s are unaffected
+    and still honour [config.trace].
     @raise Invalid_argument on an empty seed list. *)
 
 val rounds_stop : n:int -> rounds:int -> Engine.stop

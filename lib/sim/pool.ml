@@ -1,0 +1,130 @@
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  pending : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+  total : int;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Workers sleep on [has_work] until a job or shutdown arrives. Jobs are
+   pre-wrapped closures that never raise (see [map]), so a worker's loop
+   needs no handler of its own. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec take () =
+    match Queue.take_opt t.pending with
+    | Some job ->
+        Mutex.unlock t.mutex;
+        Some job
+    | None ->
+        if t.closing then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          Condition.wait t.has_work t.mutex;
+          take ()
+        end
+  in
+  match take () with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker_loop t
+
+let create ?domains () =
+  let total =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if total < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      pending = Queue.create ();
+      closing = false;
+      workers = [||];
+      total;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.total
+
+let map t f items =
+  match items with
+  | [] -> []
+  | [ only ] -> [ f only ]
+  | _ ->
+      let inputs = Array.of_list items in
+      let n = Array.length inputs in
+      let results = Array.make n None in
+      let first_error = ref None in
+      let remaining = ref n in
+      let finished = Condition.create () in
+      let job i () =
+        let outcome =
+          try Ok (f inputs.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.mutex;
+        (match outcome with
+        | Ok v -> results.(i) <- Some v
+        | Error (e, bt) -> (
+            (* Keep the lowest-indexed failure so which exception
+               propagates does not depend on scheduling. *)
+            match !first_error with
+            | Some (j, _, _) when j < i -> ()
+            | _ -> first_error := Some (i, e, bt)));
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (job i) t.pending
+      done;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.mutex;
+      (* The submitting domain works too: drain jobs (possibly including
+         another concurrent map's) until the queue is empty... *)
+      let rec drain () =
+        Mutex.lock t.mutex;
+        match Queue.take_opt t.pending with
+        | Some job ->
+            Mutex.unlock t.mutex;
+            job ();
+            drain ()
+        | None -> Mutex.unlock t.mutex
+      in
+      drain ();
+      (* ...then sleep until the last in-flight worker job lands. *)
+      Mutex.lock t.mutex;
+      while !remaining > 0 do
+        Condition.wait finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match !first_error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.closing <- true;
+  t.workers <- [||];
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,50 @@
+(** A fixed pool of worker domains for embarrassingly parallel sweeps.
+
+    The experiment layer's unit of work is one seeded simulation run or
+    one bounded state-space exploration — independent jobs that each own
+    their RNG and engine state, so fanning them out across domains is
+    data-race-free by construction. The pool is deliberately simple: no
+    work stealing, one shared FIFO job queue guarded by a mutex and a
+    condition variable, fixed worker domains spawned at {!create}.
+
+    Determinism: {!map} returns results positionally (slot [i] holds
+    [f] applied to the [i]-th input), so the output is identical to
+    [List.map f] no matter how jobs interleave across domains — parallel
+    sweeps reproduce sequential tables byte for byte. *)
+
+type t
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — what [create] uses when
+    [?domains] is omitted, and the default for the CLI's [--jobs]. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool using [domains] domains in total, including the caller's:
+    [domains - 1] workers are spawned, and the domain calling {!map}
+    works through jobs alongside them. [domains = 1] therefore spawns
+    nothing and makes {!map} run exactly like [List.map].
+    Default: {!default_domains}. @raise Invalid_argument if
+    [domains < 1]. *)
+
+val domains : t -> int
+(** Total domains working a {!map}, counting the caller. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] applies [f] to every item, distributing the
+    applications over the pool's domains, and returns the results in
+    input order. If one or more applications raise, the exception of the
+    lowest-indexed failing job is re-raised (with its backtrace) after
+    every job has finished, so the pool is left quiescent and reusable.
+
+    Jobs must not themselves call {!map} on the same pool from a worker
+    domain's job (the caller's drain loop makes same-domain reentrancy
+    from the submitting thread safe, but nested fan-out belongs at one
+    level only — keep jobs leaf-like). *)
+
+val shutdown : t -> unit
+(** Signal workers to exit and join them. Idempotent. Calling {!map}
+    after [shutdown] degrades gracefully to the caller running every job
+    itself. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown] (also on exceptions). *)

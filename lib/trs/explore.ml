@@ -1,4 +1,11 @@
-module TSet = Set.Make (Term)
+(* Visited sets are hashtables keyed on terms with their structural hash
+   cached at insertion time (Term.Hashed) — membership is a cached-int
+   comparison plus, on collision, one structural equality, instead of the
+   O(log n) full-term comparisons a [Set.Make(Term)] pays per step. *)
+type hset = unit Term.Tbl.t
+
+let hset_mem (set : hset) h = Term.Tbl.mem set h
+let hset_add (set : hset) h = Term.Tbl.replace set h ()
 
 type stats = {
   states : int;
@@ -21,7 +28,8 @@ let explore ?(max_states = 100_000) ?max_depth
   let init = Term.canonicalize init in
   let queue = Queue.create () in
   Queue.push (init, 0) queue;
-  let visited = ref (TSet.singleton init) in
+  let visited : hset = Term.Tbl.create 1024 in
+  hset_add visited (Term.Hashed.make init);
   let rev_order = ref [ init ] in
   let rev_edges = ref [] in
   let violations = ref [] in
@@ -46,10 +54,11 @@ let explore ?(max_states = 100_000) ?max_depth
           incr transitions;
           if want_edges then
             rev_edges := (state, Rule.name rule, next) :: !rev_edges;
-          if not (TSet.mem next !visited) then
-            if TSet.cardinal !visited >= max_states then truncated := true
+          let hnext = Term.Hashed.make next in
+          if not (hset_mem visited hnext) then
+            if Term.Tbl.length visited >= max_states then truncated := true
             else begin
-              visited := TSet.add next !visited;
+              hset_add visited hnext;
               rev_order := next :: !rev_order;
               verify next (depth + 1);
               Queue.push (next, depth + 1) queue
@@ -62,7 +71,7 @@ let explore ?(max_states = 100_000) ?max_depth
     edge_list = List.rev !rev_edges;
     stats =
       {
-        states = TSet.cardinal !visited;
+        states = Term.Tbl.length visited;
         transitions = !transitions;
         max_depth = !deepest;
         truncated = !truncated;
@@ -80,6 +89,13 @@ let reachable ?max_states ?max_depth system ~init =
 let edges ?max_states ?max_depth system ~init =
   (explore ?max_states ?max_depth ~want_edges:true system ~init).edge_list
 
+(* Alphabetical by rule name; ties (impossible for distinct registry
+   names, but explicit anyway) break on the count. Deliberately not the
+   polymorphic [Stdlib.compare] so the sort order is pinned by type. *)
+let compare_rule_count (name_a, count_a) (name_b, count_b) =
+  let c = String.compare name_a name_b in
+  if c <> 0 then c else Int.compare count_a count_b
+
 let rule_counts ?max_states ?max_depth system ~init =
   let counts = Hashtbl.create 16 in
   List.iter
@@ -87,7 +103,8 @@ let rule_counts ?max_states ?max_depth system ~init =
       Hashtbl.replace counts rule
         (1 + Option.value (Hashtbl.find_opt counts rule) ~default:0))
     (edges ?max_states ?max_depth system ~init);
-  List.sort compare (Hashtbl.fold (fun rule c acc -> (rule, c) :: acc) counts [])
+  List.sort compare_rule_count
+    (Hashtbl.fold (fun rule c acc -> (rule, c) :: acc) counts [])
 
 type liveness_report = {
   explored : int;
@@ -97,59 +114,74 @@ type liveness_report = {
   undecided : int;
 }
 
-(* Backward closure of [seeds] over the (reversed) edge relation. *)
+let hset_of_list states =
+  let set : hset = Term.Tbl.create 256 in
+  List.iter (fun s -> hset_add set (Term.Hashed.make s)) states;
+  set
+
+(* Backward closure of [seeds] over the (reversed) edge relation.
+   Mutates and returns [seeds]. *)
 let backward_closure ~edges ~seeds =
-  let predecessors = Hashtbl.create 256 in
+  let predecessors = Term.Tbl.create 256 in
   List.iter
     (fun (src, _, dst) ->
+      let dst = Term.Hashed.make dst in
       let existing =
-        Option.value (Hashtbl.find_opt predecessors dst) ~default:[]
+        Option.value (Term.Tbl.find_opt predecessors dst) ~default:[]
       in
-      Hashtbl.replace predecessors dst (src :: existing))
+      Term.Tbl.replace predecessors dst (src :: existing))
     edges;
-  let closure = ref seeds in
+  let closure : hset = seeds in
   let queue = Queue.create () in
-  TSet.iter (fun s -> Queue.push s queue) seeds;
+  Term.Tbl.iter (fun s () -> Queue.push s queue) closure;
   while not (Queue.is_empty queue) do
     let state = Queue.pop queue in
     List.iter
       (fun pred ->
-        if not (TSet.mem pred !closure) then begin
-          closure := TSet.add pred !closure;
+        let pred = Term.Hashed.make pred in
+        if not (hset_mem closure pred) then begin
+          hset_add closure pred;
           Queue.push pred queue
         end)
-      (Option.value (Hashtbl.find_opt predecessors state) ~default:[])
+      (Option.value (Term.Tbl.find_opt predecessors state) ~default:[])
   done;
-  !closure
+  closure
 
 let eventually ?max_states ?max_depth ~goal system ~init =
   let outcome = explore ?max_states ?max_depth ~want_edges:true system ~init in
-  let visited = TSet.of_list outcome.visited_order in
-  let goals = TSet.filter goal visited in
+  let visited = hset_of_list outcome.visited_order in
+  let goals = hset_of_list (List.filter goal outcome.visited_order) in
+  let goal_count = Term.Tbl.length goals in
   (* States whose forward cone may leave the explored set: any state with
      an edge to an unexplored target, plus everything that can reach such
      a state. For those no verdict is possible. *)
-  let leaky =
-    List.fold_left
-      (fun acc (src, _, dst) ->
-        if TSet.mem dst visited then acc else TSet.add src acc)
-      TSet.empty outcome.edge_list
-  in
+  let leaky : hset = Term.Tbl.create 64 in
+  List.iter
+    (fun (src, _, dst) ->
+      if not (hset_mem visited (Term.Hashed.make dst)) then
+        hset_add leaky (Term.Hashed.make src))
+    outcome.edge_list;
   let can = backward_closure ~edges:outcome.edge_list ~seeds:goals in
   let may_escape = backward_closure ~edges:outcome.edge_list ~seeds:leaky in
   let cannot =
-    TSet.filter
-      (fun s -> (not (TSet.mem s can)) && not (TSet.mem s may_escape))
-      visited
+    List.filter
+      (fun s ->
+        let h = Term.Hashed.make s in
+        (not (hset_mem can h)) && not (hset_mem may_escape h))
+      outcome.visited_order
   in
   let undecided =
-    TSet.cardinal (TSet.filter (fun s -> not (TSet.mem s can)) may_escape)
+    Term.Tbl.fold
+      (fun s () acc -> if hset_mem can s then acc else acc + 1)
+      may_escape 0
   in
   {
-    explored = TSet.cardinal visited;
-    goal_states = TSet.cardinal goals;
-    can_reach = TSet.cardinal can;
-    cannot_reach = TSet.elements cannot;
+    explored = Term.Tbl.length visited;
+    goal_states = goal_count;
+    can_reach = Term.Tbl.length can;
+    (* Sorted, as the previous [Set.Make(Term)]-based implementation
+       returned them — callers and tests may rely on the order. *)
+    cannot_reach = List.sort Term.compare cannot;
     undecided;
   }
 
@@ -167,17 +199,16 @@ let escape s =
 let to_dot ?max_states ?max_depth ?(node_label = Term.to_string) system ~init =
   let init = Term.canonicalize init in
   let outcome = explore ?max_states ?max_depth ~want_edges:true system ~init in
-  let ids = ref TSet.empty in
-  let id_table = Hashtbl.create 64 in
+  let id_table = Term.Tbl.create 64 in
   let next_id = ref 0 in
   let id_of state =
-    match Hashtbl.find_opt id_table state with
+    let state = Term.Hashed.make state in
+    match Term.Tbl.find_opt id_table state with
     | Some i -> i
     | None ->
         let i = !next_id in
         incr next_id;
-        Hashtbl.add id_table state i;
-        ids := TSet.add state !ids;
+        Term.Tbl.add id_table state i;
         i
   in
   let buffer = Buffer.create 4096 in
@@ -194,7 +225,10 @@ let to_dot ?max_states ?max_depth ?(node_label = Term.to_string) system ~init =
     (fun (src, rule, dst) ->
       (* Only draw edges between visited states (the frontier may have
          been truncated). *)
-      if Hashtbl.mem id_table src && Hashtbl.mem id_table dst then
+      if
+        Term.Tbl.mem id_table (Term.Hashed.make src)
+        && Term.Tbl.mem id_table (Term.Hashed.make dst)
+      then
         Buffer.add_string buffer
           (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" (id_of src)
              (id_of dst) (escape rule)))

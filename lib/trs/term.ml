@@ -8,53 +8,99 @@ type t =
   | Seq of t list
 
 let rec compare a b =
-  match (a, b) with
-  | Const x, Const y -> String.compare x y
-  | Const _, _ -> -1
-  | _, Const _ -> 1
-  | Int x, Int y -> Int.compare x y
-  | Int _, _ -> -1
-  | _, Int _ -> 1
-  | Var x, Var y -> String.compare x y
-  | Var _, _ -> -1
-  | _, Var _ -> 1
-  | Wild, Wild -> 0
-  | Wild, _ -> -1
-  | _, Wild -> 1
-  | App (f, xs), App (g, ys) ->
-      let c = String.compare f g in
-      if c <> 0 then c else compare_lists xs ys
-  | App _, _ -> -1
-  | _, App _ -> 1
-  | Bag xs, Bag ys -> compare_lists xs ys
-  | Bag _, _ -> -1
-  | _, Bag _ -> 1
-  | Seq xs, Seq ys -> compare_lists xs ys
+  if a == b then 0
+  else
+    match (a, b) with
+    | Const x, Const y -> String.compare x y
+    | Const _, _ -> -1
+    | _, Const _ -> 1
+    | Int x, Int y -> Int.compare x y
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Var x, Var y -> String.compare x y
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+    | Wild, Wild -> 0
+    | Wild, _ -> -1
+    | _, Wild -> 1
+    | App (f, xs), App (g, ys) ->
+        let c = String.compare f g in
+        if c <> 0 then c else compare_lists xs ys
+    | App _, _ -> -1
+    | _, App _ -> 1
+    | Bag xs, Bag ys -> compare_lists xs ys
+    | Bag _, _ -> -1
+    | _, Bag _ -> 1
+    | Seq xs, Seq ys -> compare_lists xs ys
 
 and compare_lists xs ys =
-  match (xs, ys) with
-  | [], [] -> 0
-  | [], _ :: _ -> -1
-  | _ :: _, [] -> 1
-  | x :: xs', y :: ys' ->
-      let c = compare x y in
-      if c <> 0 then c else compare_lists xs' ys'
+  if xs == ys then 0
+  else
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs', y :: ys' ->
+        let c = compare x y in
+        if c <> 0 then c else compare_lists xs' ys'
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+(* FNV-1a-style structural hash. Distinct constructor tags keep e.g.
+   [Bag xs] and [Seq xs] apart; list folding keeps order significant, so
+   only canonical (sorted) bags hash AC-consistently. *)
+let hash_combine acc x = ((acc * 0x01000193) lxor x) land max_int
+
+let rec hash = function
+  | Const s -> hash_combine 0x11 (Hashtbl.hash s)
+  | Int i -> hash_combine 0x22 i
+  | Var v -> hash_combine 0x33 (Hashtbl.hash v)
+  | Wild -> 0x44
+  | App (f, args) -> hash_list (hash_combine 0x55 (Hashtbl.hash f)) args
+  | Bag items -> hash_list 0x66 items
+  | Seq items -> hash_list 0x77 items
+
+and hash_list seed items =
+  List.fold_left (fun acc t -> hash_combine acc (hash t)) seed items
+
+(* [map_sharing f xs] is [List.map f xs] but returns [xs] itself when
+   every element maps to itself physically — the backbone of the
+   allocation-free path through [canonicalize]. *)
+let rec map_sharing f xs =
+  match xs with
+  | [] -> xs
+  | x :: tl ->
+      let x' = f x in
+      let tl' = map_sharing f tl in
+      if x' == x && tl' == tl then xs else x' :: tl'
+
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as tl) -> compare a b <= 0 && is_sorted tl
 
 let rec canonicalize term =
   match term with
   | Const _ | Int _ | Var _ | Wild -> term
-  | App (f, args) -> App (f, List.map canonicalize args)
-  | Seq items -> Seq (List.map canonicalize items)
+  | App (f, args) ->
+      let args' = map_sharing canonicalize args in
+      if args' == args then term else App (f, args')
+  | Seq items ->
+      let items' = map_sharing canonicalize items in
+      if items' == items then term else Seq items'
   | Bag items ->
-      let flattened =
-        List.concat_map
-          (fun item ->
-            match canonicalize item with Bag inner -> inner | other -> [ other ])
-          items
-      in
-      Bag (List.sort compare flattened)
+      let items' = map_sharing canonicalize items in
+      if List.exists (function Bag _ -> true | _ -> false) items' then
+        let flattened =
+          List.concat_map
+            (function Bag inner -> inner | other -> [ other ])
+            items'
+        in
+        Bag (List.sort compare flattened)
+      else if is_sorted items' then
+        if items' == items then term else Bag items'
+      else Bag (List.sort compare items')
+
+let is_canonical term = canonicalize term == term
 
 let tuple items = App ("tuple", items)
 let pair a b = tuple [ a; b ]
@@ -148,3 +194,19 @@ let rec pp ppf = function
         items
 
 let to_string term = Format.asprintf "%a" pp term
+
+(* Hash-consing-lite: a term bundled with its structural hash, computed
+   once on construction. State-space exploration keys its visited table
+   on these, so membership tests cost one cached-int comparison plus (on
+   hash collision only) one structural [equal] — instead of the
+   O(log n) full-term comparisons of a [Set.Make(Term)]. *)
+module Hashed = struct
+  type nonrec t = { term : t; hash : int }
+
+  let make term = { term; hash = hash term }
+  let term h = h.term
+  let hash h = h.hash
+  let equal a b = a.hash = b.hash && equal a.term b.term
+end
+
+module Tbl = Hashtbl.Make (Hashed)

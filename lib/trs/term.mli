@@ -50,12 +50,25 @@ val rot : int -> t
 (** {1 Operations} *)
 
 val compare : t -> t -> int
-(** Total structural order; on canonical terms this is equality modulo AC. *)
+(** Total structural order; on canonical terms this is equality modulo AC.
+    Physically equal (sub)terms short-circuit to 0 without descending. *)
 
 val equal : t -> t -> bool
+(** [compare a b = 0], with a physical-equality fast path. *)
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal} on canonical terms: bags
+    hash their elements in order, so two AC-equal bags hash alike only
+    after {!canonicalize}. Always non-negative. *)
 
 val canonicalize : t -> t
-(** Sort bags (recursively) and flatten nested bags. Idempotent. *)
+(** Sort bags (recursively) and flatten nested bags. Idempotent, and
+    sharing-preserving: an already-canonical term (or subterm) is
+    returned physically unchanged, so re-canonicalising canonical data
+    allocates nothing and [canonicalize t == t] tests canonicity. *)
+
+val is_canonical : t -> bool
+(** [canonicalize t == t]. *)
 
 val is_ground : t -> bool
 (** No [Var] or [Wild] anywhere. *)
@@ -82,3 +95,28 @@ val seq_project : keep:(t -> bool) -> t -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Hashed terms}
+
+    Hash-consing-lite for hot paths: a term paired with its structural
+    hash, computed once when the pair is built. {!Explore} keys its
+    visited set on these. *)
+
+module Hashed : sig
+  type term := t
+  type t
+
+  val make : term -> t
+  (** Computes and caches [hash term]; O(size of the term), once. *)
+
+  val term : t -> term
+  val hash : t -> int  (** The cached hash; O(1). *)
+
+  val equal : t -> t -> bool
+  (** Cached-hash comparison first, then structural {!Term.equal}
+      (which itself short-circuits on physical equality). *)
+end
+
+module Tbl : Hashtbl.S with type key = Hashed.t
+(** Hashtable keyed on hashed terms — the visited-set representation
+    for state-space exploration. *)

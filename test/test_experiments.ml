@@ -247,6 +247,95 @@ let test_run_many_ensemble () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------------- parallel determinism ---------------- *)
+
+(* The tentpole guarantee: a pool changes wall-clock, never data. Tables
+   must come out byte-identical because every sweep point is an
+   independent seeded run and results are reassembled in sweep order. *)
+let csv r = Series.Table.to_csv r.Exp.table
+
+let test_parallel_experiments_deterministic () =
+  Tr_sim.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun (label, seq, par) ->
+          Alcotest.(check string)
+            (label ^ " byte-identical with and without pool")
+            (csv (seq ())) (csv (par pool)))
+        [
+          ( "FIG9",
+            (fun () -> Exp.fig9 ~quick:true ~seed:11 ()),
+            fun pool -> Exp.fig9 ~pool ~quick:true ~seed:11 () );
+          ( "FIG10",
+            (fun () -> Exp.fig10 ~quick:true ~seed:11 ()),
+            fun pool -> Exp.fig10 ~pool ~quick:true ~seed:11 () );
+          ( "LEM4",
+            (fun () -> Exp.lem4 ~quick:true ~seed:11 ()),
+            fun pool -> Exp.lem4 ~pool ~quick:true ~seed:11 () );
+          ( "THM2",
+            (fun () -> Exp.thm2 ~quick:true ~seed:11 ()),
+            fun pool -> Exp.thm2 ~pool ~quick:true ~seed:11 () );
+          ( "SPACE",
+            (fun () -> Exp.spec_space ~quick:true ()),
+            fun pool -> Exp.spec_space ~pool ~quick:true () );
+        ])
+
+let test_parallel_run_many_deterministic () =
+  let config =
+    {
+      (Tokenring.Engine.default_config ~n:16 ~seed:0) with
+      workload = Tokenring.Workload.Global_poisson { mean_interarrival = 8.0 };
+    }
+  in
+  let seeds = [ 1; 2; 3; 4; 5; 6 ] in
+  let stop = Tokenring.Engine.After_serves 60 in
+  let seq = Tokenring.Runner.run_many Tr_proto.Binsearch.protocol config ~seeds ~stop in
+  let par =
+    Tr_sim.Pool.with_pool ~domains:4 (fun pool ->
+        Tokenring.Runner.run_many ~pool Tr_proto.Binsearch.protocol config ~seeds
+          ~stop)
+  in
+  let digest e =
+    List.map
+      (fun o ->
+        ( o.Tokenring.Runner.seed,
+          o.Tokenring.Runner.duration,
+          Tokenring.Metrics.token_messages o.Tokenring.Runner.metrics,
+          Tokenring.Summary.mean (Tokenring.Metrics.responsiveness o.Tokenring.Runner.metrics) ))
+      e.Tokenring.Runner.outcomes
+  in
+  Alcotest.(check bool) "outcomes identical in seed order" true
+    (digest seq = digest par);
+  Alcotest.(check (float 0.0)) "aggregates identical"
+    (Tokenring.Summary.mean seq.Tokenring.Runner.responsiveness_means)
+    (Tokenring.Summary.mean par.Tokenring.Runner.responsiveness_means)
+
+let test_run_many_trace_retention () =
+  let config =
+    {
+      (Tokenring.Engine.default_config ~n:8 ~seed:0) with
+      workload = Tokenring.Workload.Global_poisson { mean_interarrival = 5.0 };
+      trace = true;
+    }
+  in
+  let stop = Tokenring.Engine.After_serves 10 in
+  let ensemble =
+    Tokenring.Runner.run_many Tr_proto.Ring.protocol config ~seeds:[ 1; 2 ] ~stop
+  in
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "ensembles drop traces by default" 0
+        (Tokenring.Trace.length o.Tokenring.Runner.trace))
+    ensemble.Tokenring.Runner.outcomes;
+  let traced =
+    Tokenring.Runner.run_many ~record_trace:true Tr_proto.Ring.protocol config
+      ~seeds:[ 1; 2 ] ~stop
+  in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "record_trace:true keeps them" true
+        (Tokenring.Trace.length o.Tokenring.Runner.trace > 0))
+    traced.Tokenring.Runner.outcomes
+
 let test_rounds_stop () =
   match Tokenring.Runner.rounds_stop ~n:10 ~rounds:100 with
   | Tokenring.Engine.After_token_messages 1000 -> ()
@@ -382,5 +471,14 @@ let () =
           Alcotest.test_case "registry unique" `Quick test_registry_names_unique;
           Alcotest.test_case "run_many ensemble" `Quick test_run_many_ensemble;
           Alcotest.test_case "rounds stop" `Quick test_rounds_stop;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "sweeps deterministic under pool" `Quick
+            test_parallel_experiments_deterministic;
+          Alcotest.test_case "run_many deterministic under pool" `Quick
+            test_parallel_run_many_deterministic;
+          Alcotest.test_case "run_many trace retention" `Quick
+            test_run_many_trace_retention;
         ] );
     ]

@@ -1,0 +1,76 @@
+(* The domain pool: completion, result ordering, exception propagation,
+   graceful shutdown — plus a qcheck equivalence with List.map. *)
+
+open Tr_sim
+
+let test_map_completes_all_jobs () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 250 Fun.id in
+      Alcotest.(check (list int))
+        "every job ran, results in input order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_edge_sizes () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 7 ]
+        (Pool.map pool (fun x -> x + 1) [ 6 ]))
+
+let test_single_domain_is_sequential () =
+  (* domains = 1 spawns nothing: the caller runs every job itself. *)
+  let pool = Pool.create ~domains:1 () in
+  Alcotest.(check int) "one domain" 1 (Pool.domains pool);
+  Alcotest.(check (list string)) "works" [ "0"; "1"; "2" ]
+    (Pool.map pool string_of_int [ 0; 1; 2 ]);
+  Pool.shutdown pool
+
+let test_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      (match Pool.map pool (fun x -> if x mod 7 = 3 then failwith "boom" else x) xs with
+      | _ -> Alcotest.fail "exception was swallowed"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* All jobs completed despite the failures; the pool is reusable. *)
+      Alcotest.(check (list int)) "reusable after an exception"
+        (List.map (fun x -> x * 2) xs)
+        (Pool.map pool (fun x -> x * 2) xs))
+
+let test_invalid_domain_count () =
+  Alcotest.(check bool) "domains < 1 rejected" true
+    (try
+       ignore (Pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown the caller degrades to running jobs itself. *)
+  Alcotest.(check (list int)) "degrades to sequential" [ 2; 4 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2 ])
+
+let prop_map_equals_list_map =
+  QCheck.Test.make ~name:"Pool.map = List.map for any job list" ~count:50
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 40) QCheck.small_int)
+    (fun xs ->
+      Pool.with_pool ~domains:3 (fun pool ->
+          Pool.map pool (fun x -> (x * 31) + 1) xs
+          = List.map (fun x -> (x * 31) + 1) xs))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "completes all jobs" `Quick test_map_completes_all_jobs;
+          Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "single domain" `Quick test_single_domain_is_sequential;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "invalid domains" `Quick test_invalid_domain_count;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_map_equals_list_map ] );
+    ]

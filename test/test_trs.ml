@@ -96,6 +96,44 @@ let prop_compare_total_order =
       let c1 = Term.compare a b and c2 = Term.compare b a in
       (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
 
+let prop_canonicalize_sharing =
+  (* Idempotence, strengthened to physical equality: re-canonicalising a
+     canonical term must return it unchanged (the allocation-free fast
+     path the explorer's hot loop relies on). *)
+  QCheck.Test.make ~name:"canonicalize shares canonical terms" ~count:300
+    arbitrary_ground (fun t ->
+      let c = Term.canonicalize t in
+      Term.canonicalize c == c && Term.is_canonical c)
+
+let prop_hash_stable_under_canonicalize =
+  QCheck.Test.make ~name:"hash t = hash (canonicalize t) for canonical t"
+    ~count:300 arbitrary_ground (fun t ->
+      let c = Term.canonicalize t in
+      Term.hash c = Term.hash (Term.canonicalize c) && Term.hash c >= 0)
+
+let prop_hash_respects_ac_equality =
+  QCheck.Test.make ~name:"AC-equal bags hash alike after canonicalize"
+    ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 5) arbitrary_ground)
+    (fun items ->
+      let a = Term.canonicalize (Term.Bag items) in
+      let b = Term.canonicalize (Term.Bag (List.rev items)) in
+      Term.equal a b && Term.hash a = Term.hash b)
+
+let test_term_hashed_tbl () =
+  let a = Term.bag [ Term.Int 1; Term.Int 2 ] in
+  let b = Term.bag [ Term.Int 2; Term.Int 1 ] in
+  let tbl = Term.Tbl.create 16 in
+  Term.Tbl.replace tbl (Term.Hashed.make a) ();
+  Alcotest.(check bool) "AC-equal key found" true
+    (Term.Tbl.mem tbl (Term.Hashed.make b));
+  Alcotest.(check bool) "distinct term absent" false
+    (Term.Tbl.mem tbl (Term.Hashed.make (Term.Int 3)));
+  let h = Term.Hashed.make a in
+  Alcotest.(check int) "cached hash is the structural hash" (Term.hash a)
+    (Term.Hashed.hash h);
+  Alcotest.check term "round-trips the term" a (Term.Hashed.term h)
+
 (* ---------------- Subst ---------------- *)
 
 let test_subst_basics () =
@@ -446,6 +484,14 @@ let test_explore_deadlocks () =
   Alcotest.(check (list term)) "full counter never deadlocks" []
     (Explore.deadlocks counter_system ~init:(Term.Int 0))
 
+let test_explore_rule_counts_sorted () =
+  (* Pins both the counts and the sort order: alphabetical by rule name
+     (explicit comparator, not polymorphic compare). *)
+  Alcotest.(check (list (pair string int)))
+    "alphabetical by rule name"
+    [ ("inc", 3); ("reset", 3) ]
+    (Explore.rule_counts counter_system ~init:(Term.Int 0))
+
 (* ---------------- Parse ---------------- *)
 
 let test_parse_atoms () =
@@ -547,8 +593,16 @@ let () =
           Alcotest.test_case "prefix" `Quick test_term_prefix;
           Alcotest.test_case "project" `Quick test_term_project;
           Alcotest.test_case "vars/ground" `Quick test_term_vars_and_ground;
+          Alcotest.test_case "hashed table" `Quick test_term_hashed_tbl;
         ]
-        @ qsuite [ prop_canonicalize_idempotent; prop_compare_total_order ] );
+        @ qsuite
+            [
+              prop_canonicalize_idempotent;
+              prop_compare_total_order;
+              prop_canonicalize_sharing;
+              prop_hash_stable_under_canonicalize;
+              prop_hash_respects_ac_equality;
+            ] );
       ( "subst",
         [
           Alcotest.test_case "basics" `Quick test_subst_basics;
@@ -607,6 +661,8 @@ let () =
           Alcotest.test_case "eventually undecided on truncation" `Quick
             test_explore_eventually_undecided_on_truncation;
           Alcotest.test_case "deadlocks" `Quick test_explore_deadlocks;
+          Alcotest.test_case "rule counts sorted" `Quick
+            test_explore_rule_counts_sorted;
         ] );
       ( "parse",
         [
