@@ -288,9 +288,116 @@ let parallel_report () =
   close_out oc;
   Format.printf "wrote BENCH_parallel.json (jobs=%d)@." jobs
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: simulator-core throughput report (BENCH_sim.json)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Four workloads that stress the simulator core from different angles:
+   pure event-loop rotation (no serves, no metrics samples), the two
+   Figure 9 protocol kernels at N = 1024, and a trace-enabled run (the
+   one case where per-event label formatting is unavoidable). Event
+   counts are deterministic, so the committed pre-refactor wall-clock
+   numbers below — measured at commit f295206 with the same seeds,
+   stops and best-of-3 policy on the same host session — divide by the
+   same event totals the optimized code reports. *)
+let sim_cases quick =
+  let scale k = if quick then Stdlib.max 1 (k / 10) else k in
+  let poisson mean =
+    Tokenring.Workload.Global_poisson { mean_interarrival = mean }
+  in
+  let case ?(trace = false) name ~baseline_s protocol ~n ~workload ~stop =
+    let thunk () =
+      let config =
+        { (Tokenring.Engine.default_config ~n ~seed:7) with workload; trace }
+      in
+      Tokenring.Runner.run protocol config ~stop
+    in
+    (name, baseline_s, thunk)
+  in
+  [
+    case "idle_rotation_ring_n4096" ~baseline_s:0.7398 Tr_proto.Ring.protocol
+      ~n:4096 ~workload:Tokenring.Workload.Nothing
+      ~stop:
+        (Tokenring.Engine.At_time (if quick then 200_000.0 else 2_000_000.0));
+    case "fig9_ring_n1024" ~baseline_s:0.1651 Tr_proto.Ring.protocol ~n:1024
+      ~workload:(poisson 10.0)
+      ~stop:(Tokenring.Engine.After_serves (scale 20000));
+    case "fig9_binsearch_n1024" ~baseline_s:0.4768 Tr_proto.Binsearch.protocol
+      ~n:1024 ~workload:(poisson 10.0)
+      ~stop:(Tokenring.Engine.After_serves (scale 20000));
+    case ~trace:true "trace_on_ring_n256" ~baseline_s:0.1252
+      Tr_proto.Ring.protocol ~n:256 ~workload:(poisson 10.0)
+      ~stop:(Tokenring.Engine.After_serves (scale 10000));
+  ]
+
+let sim_throughput_report () =
+  let reps = if quick then 1 else 3 in
+  let rows =
+    List.map
+      (fun (name, baseline_s, thunk) ->
+        Format.eprintf "timing %s...@." name;
+        let best_s = best_of reps thunk in
+        let outcome = thunk () in
+        let events = outcome.Tokenring.Runner.events in
+        let events_f = float_of_int events in
+        (* Baseline wall-clock only applies to the full-sized stops it
+           was measured with. *)
+        let baseline =
+          if quick then
+            {|"baseline_s": null, "baseline_events_per_s": null, "speedup": null|}
+          else
+            Printf.sprintf
+              {|"baseline_s": %.4f, "baseline_events_per_s": %.0f, "speedup": %.2f|}
+              baseline_s (events_f /. baseline_s) (baseline_s /. best_s)
+        in
+        Printf.sprintf
+          {|    { "case": %S, "events": %d, "wall_s": %.4f,
+      "events_per_s": %.0f, %s }|}
+          name events best_s (events_f /. best_s) baseline)
+      (sim_cases quick)
+  in
+  Format.eprintf "running LARGE-N sweep...@.";
+  let t0 = Unix.gettimeofday () in
+  let large = Tokenring.Experiments.large_n ~quick ~seed:42 () in
+  let large_s = Unix.gettimeofday () -. t0 in
+  let max_n =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc (x, _) -> Stdlib.max acc x) acc
+          (Tokenring.Series.points s))
+      0.0 large.Tokenring.Experiments.series
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "host": { "cores": %d, "ocaml": %S },
+  "mode": %S,
+  "baseline_commit": "f295206 (boxed pqueue entries, tuple-keyed timer epochs, list trace, unconditional label formatting)",
+  "policy": "wall-clock best of %d, seed 7; event counts are deterministic and identical before/after the refactor (verified byte-identical FIG9/FIG10 tables and traces)",
+  "cases": [
+%s
+  ],
+  "large_n": { "max_n": %.0f, "wall_s": %.2f, "completed": true }
+}
+|}
+      (Domain.recommended_domain_count ())
+      Sys.ocaml_version
+      (if quick then "quick" else "full")
+      reps
+      (String.concat ",\n" rows)
+      max_n large_s
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_sim.json (%s mode)@."
+    (if quick then "quick" else "full")
+
 let () =
   if Array.exists (String.equal "--parallel-report") Sys.argv then
     parallel_report ()
+  else if Array.exists (String.equal "--sim-throughput") Sys.argv then
+    sim_throughput_report ()
   else begin
     regenerate_figures ();
     formal_checks ();

@@ -70,7 +70,7 @@ let list_cmd =
 
 let run_cmd =
   let run protocol n seed mean serves workload_spec network_spec json histogram
-      =
+      profile =
     let workload =
       match workload_spec with
       | None -> Ok (Tokenring.Workload.Global_poisson { mean_interarrival = mean })
@@ -87,6 +87,7 @@ let run_cmd =
         let config =
           { (Tokenring.Engine.default_config ~n ~seed) with workload; network }
         in
+        let t0 = Unix.gettimeofday () in
         let outcome =
           Tokenring.Runner.run_named protocol config
             ~stop:
@@ -94,6 +95,12 @@ let run_cmd =
                  [ Tokenring.Engine.After_serves serves;
                    Tokenring.Engine.At_time 5e6 ])
         in
+        let wall = Unix.gettimeofday () -. t0 in
+        (* stderr so that --json output stays machine-parseable *)
+        if profile then
+          Format.eprintf "profile: %d events in %.4f s (%.0f events/sec)@."
+            outcome.Tokenring.Runner.events wall
+            (float_of_int outcome.Tokenring.Runner.events /. wall);
         if json then print_string (Tokenring.Export.outcome_to_json outcome)
         else begin
           Format.printf "%a@." Tokenring.Runner.pp_outcome outcome;
@@ -135,7 +142,11 @@ let run_cmd =
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as JSON.")
       $ Arg.(
           value & flag
-          & info [ "histogram" ] ~doc:"Also print the responsiveness histogram."))
+          & info [ "histogram" ] ~doc:"Also print the responsiveness histogram.")
+      $ Arg.(
+          value & flag
+          & info [ "profile" ]
+              ~doc:"Print events processed, wall time and events/sec."))
 
 (* ---------------- exp ---------------- *)
 

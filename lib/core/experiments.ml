@@ -131,6 +131,69 @@ let fig10 ?pool ?(quick = false) ?(seed = 42) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Large-N responsiveness: the O(N) / O(log N) gap at scale            *)
+(* ------------------------------------------------------------------ *)
+
+(* Figures 9/10 stop at N = 256 — small enough that constants blur the
+   asymptotic story. This sweep pushes to N = 16384 with traces off and
+   tail statistics read from the streaming P² sketches, so memory stays
+   O(N) however long the run. Load scales with N (mean interarrival
+   N/4): light enough that the ring pays its ~N/2 rotation while
+   binsearch stays logarithmic — at N = 16384 the gap exceeds two
+   orders of magnitude. *)
+let large_n ?pool ?(quick = false) ?(seed = 42) () =
+  let ns = if quick then [ 256; 512 ] else [ 1024; 2048; 4096; 8192; 16384 ] in
+  let serves = if quick then 60 else 150 in
+  let ring = Series.create ~name:"ring" in
+  let ring_p99 = Series.create ~name:"ring-p99" in
+  let bin = Series.create ~name:"binsearch" in
+  let bin_p99 = Series.create ~name:"binsearch-p99" in
+  let half_n = Series.create ~name:"n/2" in
+  let logn = Series.create ~name:"log2(n)" in
+  let jobs =
+    List.concat_map
+      (fun n -> [ (n, Tr_proto.Ring.protocol); (n, Tr_proto.Binsearch.protocol) ])
+      ns
+  in
+  let measure (n, protocol) =
+    let workload = poisson (float_of_int n /. 4.0) in
+    let cfg = config ~n ~seed ~workload in
+    let o = Runner.run protocol cfg ~stop:(steady_stop serves) in
+    let sk = Metrics.responsiveness_sketches o.Runner.metrics in
+    (mean_responsiveness o, Tr_stats.P2.estimate sk.Metrics.q99)
+  in
+  let ys = pmap ?pool measure jobs in
+  let rec fill ns ys =
+    match (ns, ys) with
+    | [], [] -> ()
+    | n :: ns', (ring_mean, ring_q99) :: (bin_mean, bin_q99) :: ys' ->
+        let x = float_of_int n in
+        Series.add ring ~x ~y:ring_mean;
+        Series.add ring_p99 ~x ~y:ring_q99;
+        Series.add bin ~x ~y:bin_mean;
+        Series.add bin_p99 ~x ~y:bin_q99;
+        Series.add half_n ~x ~y:(x /. 2.0);
+        Series.add logn ~x ~y:(log2 x);
+        fill ns' ys'
+    | _ -> assert false
+  in
+  fill ns ys;
+  {
+    id = "LARGE-N";
+    title =
+      "Responsiveness at large ring sizes (light load, interarrival = N/4, \
+       streaming tail statistics)";
+    expectation =
+      "ring's mean and p99 grow linearly with N while binsearch stays \
+       within a small multiple of log2(N); the gap exceeds two orders of \
+       magnitude by N = 16384";
+    series = [ ring; ring_p99; bin; bin_p99; half_n; logn ];
+    table =
+      Series.Table.of_series ~x_label:"n"
+        [ ring; ring_p99; bin; bin_p99; half_n; logn ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Worst-case single-request probes (Lemma 4, Theorem 2, Lemma 6)      *)
 (* ------------------------------------------------------------------ *)
 
@@ -561,6 +624,7 @@ let all ?pool ?(quick = false) ?(seed = 42) () =
   [
     fig9 ?pool ~quick ~seed ();
     fig10 ?pool ~quick ~seed ();
+    large_n ?pool ~quick ~seed ();
     lem4 ?pool ~quick ~seed ();
     lem6 ?pool ~quick ~seed ();
     thm2 ?pool ~quick ~seed ();

@@ -56,6 +56,7 @@ let outcome_to_json (o : Runner.outcome) =
       ("n", string_of_int o.n);
       ("seed", string_of_int o.seed);
       ("duration", json_float o.duration);
+      ("events", string_of_int o.events);
       ("serves", string_of_int (Metrics.serves m));
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));

@@ -5,6 +5,7 @@ type outcome = {
   n : int;
   seed : int;
   duration : float;
+  events : int;
   metrics : Metrics.t;
   trace : Trace.t;
 }
@@ -18,6 +19,7 @@ let run (module P : Node_intf.PROTOCOL) (config : Engine.config) ~stop =
     n = config.n;
     seed = config.seed;
     duration = E.now t;
+    events = E.events_processed t;
     metrics = E.metrics t;
     trace = E.trace t;
   }

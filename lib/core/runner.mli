@@ -7,6 +7,7 @@ type outcome = {
   n : int;
   seed : int;
   duration : float;  (** Final virtual time. *)
+  events : int;  (** Simulation events processed (throughput numerator). *)
   metrics : Metrics.t;
   trace : Trace.t;  (** Empty unless the config enabled tracing. *)
 }

@@ -10,6 +10,7 @@ type config = {
   network : Network.t;
   workload : Workload.spec;
   trace : bool;
+  trace_window : int option;
   crashes : (float * int) list;
 }
 
@@ -20,15 +21,56 @@ let default_config ~n ~seed =
     network = Network.default;
     workload = Workload.Nothing;
     trace = false;
+    trace_window = None;
     crashes = [];
   }
 
+(* [stop] trees compile to three scalar limits: [stop_reached] is an OR
+   over leaves, and OR of [clock > l_i] (resp. [serves >= k_i]) is
+   exactly [clock > min l_i] (resp. [>= min k_i]); [within_horizon]'s
+   [for_all] over [First_of] takes the same minimum over [At_time]
+   leaves. Checking per event is then three scalar compares with no list
+   walk and no closure. *)
+type compiled_stop = {
+  time_limit : float; (* infinity when no At_time leaf *)
+  serves_limit : int; (* max_int when no After_serves leaf *)
+  token_limit : int; (* max_int when no After_token_messages leaf *)
+}
+
+let rec compile_stop acc = function
+  | At_time limit -> { acc with time_limit = Stdlib.min acc.time_limit limit }
+  | After_serves k -> { acc with serves_limit = Stdlib.min acc.serves_limit k }
+  | After_token_messages k ->
+      { acc with token_limit = Stdlib.min acc.token_limit k }
+  | First_of stops -> List.fold_left compile_stop acc stops
+
+let compile_stop stop =
+  compile_stop
+    { time_limit = infinity; serves_limit = max_int; token_limit = max_int }
+    stop
+
 module Make (P : Node_intf.PROTOCOL) = struct
-  type event =
-    | Deliver of { src : int; dst : int; channel : Network.channel; msg : P.msg }
-    | Timer of { node : int; key : int; epoch : int }
-    | Arrival of { nodes : int list }
-    | Crash of { node : int }
+  (* Events are pooled mutable records, not immutable variants: the run
+     loop releases each event back to a free list right after copying
+     its fields out, so the steady-state Deliver/Timer cycle allocates
+     nothing. [tag] discriminates; only the fields of the active tag are
+     meaningful. *)
+  type event_tag = Deliver | Timer | Arrival | Crash
+
+  type event = {
+    mutable tag : event_tag;
+    mutable src : int; (* Deliver src; Timer/Crash node *)
+    mutable dst : int; (* Deliver dst; Timer key *)
+    mutable epoch : int; (* Timer *)
+    mutable channel : Network.channel;
+    mutable msg : P.msg; (* meaningful iff tag = Deliver *)
+    mutable nodes : int list; (* meaningful iff tag = Arrival *)
+  }
+
+  (* Placeholder for the [msg] field of non-Deliver events; an immediate,
+     never read (the dispatch switch only touches [msg] when the tag is
+     [Deliver], and every [Deliver] sets it). *)
+  let no_msg : P.msg = Obj.magic 0
 
   type t = {
     config : config;
@@ -43,7 +85,15 @@ module Make (P : Node_intf.PROTOCOL) = struct
     metrics : Metrics.t;
     trace : Trace.t;
     crashed : bool array;
-    timer_epochs : (int * int, int) Hashtbl.t;
+    (* Timer epochs, scalar-keyed: slot [node * keyspace + key]. The
+       keyspace grows (rebuilding the table) if a protocol uses a key
+       >= the current bound; existing protocols use keys 1..5. *)
+    mutable timer_epochs : int array;
+    mutable keyspace : int;
+    (* Free list of event records for reuse. *)
+    mutable pool : event array;
+    mutable pool_len : int;
+    mutable events_processed : int;
     mutable initialized : bool;
   }
 
@@ -52,9 +102,69 @@ module Make (P : Node_intf.PROTOCOL) = struct
   let trace t = t.trace
   let state t i = t.states.(i)
   let crashed t i = t.crashed.(i)
+  let events_processed t = t.events_processed
+
+  (* ---------------- event pool ---------------- *)
+
+  let fresh_event () =
+    {
+      tag = Crash;
+      src = 0;
+      dst = 0;
+      epoch = 0;
+      channel = Network.Reliable;
+      msg = no_msg;
+      nodes = [];
+    }
+
+  let acquire t =
+    if t.pool_len = 0 then fresh_event ()
+    else begin
+      t.pool_len <- t.pool_len - 1;
+      t.pool.(t.pool_len)
+    end
+
+  let release t e =
+    (* Drop payload references so pooled slots pin nothing. *)
+    e.msg <- no_msg;
+    e.nodes <- [];
+    if t.pool_len = Array.length t.pool then begin
+      let bigger = Array.make (Stdlib.max 16 (2 * t.pool_len)) e in
+      Array.blit t.pool 0 bigger 0 t.pool_len;
+      t.pool <- bigger
+    end;
+    t.pool.(t.pool_len) <- e;
+    t.pool_len <- t.pool_len + 1
+
+  (* ---------------- timer epochs ---------------- *)
+
+  let grow_keyspace t key =
+    let keyspace' = ref (Stdlib.max 8 (2 * t.keyspace)) in
+    while key >= !keyspace' do
+      keyspace' := 2 * !keyspace'
+    done;
+    let keyspace' = !keyspace' in
+    let table = Array.make (t.config.n * keyspace') 0 in
+    for node = 0 to t.config.n - 1 do
+      for k = 0 to t.keyspace - 1 do
+        table.((node * keyspace') + k) <- t.timer_epochs.((node * t.keyspace) + k)
+      done
+    done;
+    t.timer_epochs <- table;
+    t.keyspace <- keyspace'
 
   let timer_epoch t ~node ~key =
-    Option.value (Hashtbl.find_opt t.timer_epochs (node, key)) ~default:0
+    if key < t.keyspace then t.timer_epochs.((node * t.keyspace) + key) else 0
+
+  let bump_timer_epoch t ~node ~key =
+    if key >= t.keyspace then grow_keyspace t key;
+    let i = (node * t.keyspace) + key in
+    t.timer_epochs.(i) <- t.timer_epochs.(i) + 1
+
+  let check_timer_key key =
+    if key < 0 then invalid_arg "Engine: negative timer key"
+
+  (* ---------------- node contexts ---------------- *)
 
   let make_ctx t node : P.msg Node_intf.ctx =
     let rng = Rng.create ((t.config.seed * 1_000_003) + node) in
@@ -62,27 +172,41 @@ module Make (P : Node_intf.PROTOCOL) = struct
       if dst < 0 || dst >= t.config.n then
         invalid_arg "Engine: send destination out of range";
       Metrics.on_message t.metrics channel (P.classify msg);
-      Trace.record t.trace ~time:t.clock
-        (Trace.Sent { src = node; dst; channel; label = P.label msg });
-      if Network.dropped t.config.network t.net_rng channel ~src:node ~dst then
+      if Trace.enabled t.trace then
         Trace.record t.trace ~time:t.clock
-          (Trace.Dropped { src = node; dst; label = P.label msg })
+          (Trace.Sent { src = node; dst; channel; label = P.label msg });
+      if Network.dropped t.config.network t.net_rng channel ~src:node ~dst then begin
+        if Trace.enabled t.trace then
+          Trace.record t.trace ~time:t.clock
+            (Trace.Dropped { src = node; dst; label = P.label msg })
+      end
       else begin
         let delay =
           Network.sample_delay t.config.network t.net_rng channel ~src:node
             ~dst
         in
-        Pqueue.push t.queue ~time:(t.clock +. delay)
-          (Deliver { src = node; dst; channel; msg })
+        let e = acquire t in
+        e.tag <- Deliver;
+        e.src <- node;
+        e.dst <- dst;
+        e.channel <- channel;
+        e.msg <- msg;
+        Pqueue.push t.queue ~time:(t.clock +. delay) e
       end
     in
     let set_timer ~delay ~key =
       if delay < 0.0 then invalid_arg "Engine: negative timer delay";
-      let epoch = timer_epoch t ~node ~key in
-      Pqueue.push t.queue ~time:(t.clock +. delay) (Timer { node; key; epoch })
+      check_timer_key key;
+      let e = acquire t in
+      e.tag <- Timer;
+      e.src <- node;
+      e.dst <- key;
+      e.epoch <- timer_epoch t ~node ~key;
+      Pqueue.push t.queue ~time:(t.clock +. delay) e
     in
     let cancel_timers ~key =
-      Hashtbl.replace t.timer_epochs (node, key) (timer_epoch t ~node ~key + 1)
+      check_timer_key key;
+      bump_timer_epoch t ~node ~key
     in
     let serve () =
       match Metrics.oldest_arrival t.metrics ~node with
@@ -92,12 +216,17 @@ module Make (P : Node_intf.PROTOCOL) = struct
                node)
       | Some arrival ->
           Metrics.on_serve t.metrics ~time:t.clock ~node;
-          Trace.record t.trace ~time:t.clock
-            (Trace.Served { node; waited = t.clock -. arrival });
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~time:t.clock
+              (Trace.Served { node; waited = t.clock -. arrival });
           (* A [Continuous] competitor re-requests the moment it is served
              (Theorem 3's adversary). *)
-          if Workload.wants_immediate_rerequest t.workload node then
-            Pqueue.push t.queue ~time:t.clock (Arrival { nodes = [ node ] })
+          if Workload.wants_immediate_rerequest t.workload node then begin
+            let e = acquire t in
+            e.tag <- Arrival;
+            e.nodes <- [ node ];
+            Pqueue.push t.queue ~time:t.clock e
+          end
     in
     {
       Node_intf.self = node;
@@ -112,7 +241,8 @@ module Make (P : Node_intf.PROTOCOL) = struct
       possession =
         (fun () ->
           Metrics.on_token_possession t.metrics ~node;
-          Trace.record t.trace ~time:t.clock (Trace.Token_at { node }));
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~time:t.clock (Trace.Token_at { node }));
       search_forward = (fun () -> Metrics.on_search_forward t.metrics);
       note =
         (fun thunk ->
@@ -127,6 +257,7 @@ module Make (P : Node_intf.PROTOCOL) = struct
       Workload.make config.workload ~n:config.n
         ~rng:(Rng.create (config.seed lxor 0x5DEECE66D))
     in
+    let keyspace = 8 in
     let t =
       {
         config;
@@ -137,9 +268,13 @@ module Make (P : Node_intf.PROTOCOL) = struct
         net_rng = Rng.create (config.seed lxor 0x2545F491);
         workload;
         metrics = Metrics.create ~n:config.n;
-        trace = Trace.create ~enabled:config.trace ();
+        trace = Trace.create ~enabled:config.trace ?window:config.trace_window ();
         crashed = Array.make config.n false;
-        timer_epochs = Hashtbl.create 16;
+        timer_epochs = Array.make (config.n * keyspace) 0;
+        keyspace;
+        pool = [||];
+        pool_len = 0;
+        events_processed = 0;
         initialized = false;
       }
     in
@@ -147,23 +282,32 @@ module Make (P : Node_intf.PROTOCOL) = struct
     t.states <- Array.init config.n (fun node -> P.init t.ctxs.(node));
     t
 
+  let push_arrival t ~time nodes =
+    let e = acquire t in
+    e.tag <- Arrival;
+    e.nodes <- nodes;
+    Pqueue.push t.queue ~time e
+
   let schedule_first_arrival t =
     match Workload.first t.workload with
     | None -> ()
-    | Some (time, nodes) -> Pqueue.push t.queue ~time (Arrival { nodes })
+    | Some (time, nodes) -> push_arrival t ~time nodes
 
   let schedule_next_arrival t ~after =
     match Workload.next t.workload ~after with
     | None -> ()
     | Some (time, nodes) ->
-        Pqueue.push t.queue ~time:(Stdlib.max time t.clock) (Arrival { nodes })
+        push_arrival t ~time:(Stdlib.max time t.clock) nodes
 
   let schedule_crashes t =
     List.iter
       (fun (time, node) ->
         if node < 0 || node >= t.config.n then
           invalid_arg "Engine: crash node out of range";
-        Pqueue.push t.queue ~time (Crash { node }))
+        let e = acquire t in
+        e.tag <- Crash;
+        e.src <- node;
+        Pqueue.push t.queue ~time e)
       t.config.crashes
 
   let initialize t =
@@ -175,8 +319,9 @@ module Make (P : Node_intf.PROTOCOL) = struct
 
   let deliver t ~src ~dst ~msg =
     if not t.crashed.(dst) then begin
-      Trace.record t.trace ~time:t.clock
-        (Trace.Delivered { src; dst; label = P.label msg });
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~time:t.clock
+          (Trace.Delivered { src; dst; label = P.label msg });
       t.states.(dst) <- P.on_message t.ctxs.(dst) t.states.(dst) ~src msg
     end
 
@@ -190,7 +335,8 @@ module Make (P : Node_intf.PROTOCOL) = struct
       (fun node ->
         if live node then begin
           Metrics.on_request t.metrics ~time:t.clock ~node;
-          Trace.record t.trace ~time:t.clock (Trace.Request { node });
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~time:t.clock (Trace.Request { node });
           t.states.(node) <- P.on_request t.ctxs.(node) t.states.(node)
         end)
       nodes
@@ -199,48 +345,52 @@ module Make (P : Node_intf.PROTOCOL) = struct
     t.crashed.(node) <- true;
     Trace.record t.trace ~time:t.clock (Trace.Crashed { node })
 
-  let rec stop_reached t stop =
-    match stop with
-    | At_time limit -> t.clock > limit
-    | After_serves k -> Metrics.serves t.metrics >= k
-    | After_token_messages k -> Metrics.token_messages t.metrics >= k
-    | First_of stops -> List.exists (stop_reached t) stops
-
-  (* With an [At_time] bound we must not pop events past the horizon, so
-     the clock never overshoots a time-limited run. *)
-  let rec within_horizon t stop =
-    match stop with
-    | At_time limit -> (
-        match Pqueue.peek_time t.queue with
-        | None -> false
-        | Some time -> time <= limit)
-    | After_serves _ | After_token_messages _ -> not (Pqueue.is_empty t.queue)
-    | First_of stops -> List.for_all (within_horizon t) stops
-
   let run t ~stop =
     initialize t;
+    let { time_limit; serves_limit; token_limit } = compile_stop stop in
     let continue = ref true in
     while !continue do
-      if stop_reached t stop || not (within_horizon t stop) then
-        continue := false
-      else
-        match Pqueue.pop t.queue with
-        | None -> continue := false
-        | Some (time, event) -> (
-            t.clock <- Stdlib.max t.clock time;
-            match event with
-            | Deliver { src; dst; channel = _; msg } -> deliver t ~src ~dst ~msg
-            | Timer { node; key; epoch } -> fire_timer t ~node ~key ~epoch
-            | Crash { node } -> crash t node
-            | Arrival { nodes } ->
-                let batch_time = t.clock in
-                arrive t nodes;
-                schedule_next_arrival t ~after:batch_time)
+      if
+        t.clock > time_limit
+        || Metrics.serves t.metrics >= serves_limit
+        || Metrics.token_messages t.metrics >= token_limit
+        (* Horizon check: with an [At_time] bound we must not pop events
+           past it, so the clock never overshoots a time-limited run. *)
+        || Pqueue.is_empty t.queue
+        || Pqueue.top_time_exn t.queue > time_limit
+      then continue := false
+      else begin
+        let time = Pqueue.top_time_exn t.queue in
+        let e = Pqueue.pop_exn t.queue in
+        t.events_processed <- t.events_processed + 1;
+        t.clock <- Stdlib.max t.clock time;
+        (* Copy the fields out, recycle the record, then dispatch — the
+           handler's own sends may reuse it immediately. *)
+        match e.tag with
+        | Deliver ->
+            let src = e.src and dst = e.dst and msg = e.msg in
+            release t e;
+            deliver t ~src ~dst ~msg
+        | Timer ->
+            let node = e.src and key = e.dst and epoch = e.epoch in
+            release t e;
+            fire_timer t ~node ~key ~epoch
+        | Crash ->
+            let node = e.src in
+            release t e;
+            crash t node
+        | Arrival ->
+            let nodes = e.nodes in
+            release t e;
+            let batch_time = t.clock in
+            arrive t nodes;
+            schedule_next_arrival t ~after:batch_time
+      end
     done
 
   let request_now t ~node =
     if node < 0 || node >= t.config.n then
       invalid_arg "Engine.request_now: node out of range";
     initialize t;
-    Pqueue.push t.queue ~time:t.clock (Arrival { nodes = [ node ] })
+    push_arrival t ~time:t.clock [ node ]
 end

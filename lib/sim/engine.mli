@@ -23,6 +23,10 @@ type config = {
   network : Network.t;
   workload : Workload.spec;
   trace : bool;  (** Record a full event trace (memory-heavy). *)
+  trace_window : int option;
+      (** When set (and [trace] is on), keep only the most recent
+          [window] trace entries in a ring buffer — bounded memory for
+          long runs. [None] retains everything. *)
   crashes : (float * int) list;  (** (time, node) fail-stop injections. *)
 }
 
@@ -52,4 +56,9 @@ module Make (P : Node_intf.PROTOCOL) : sig
       Takes effect when the event loop next runs. *)
 
   val crashed : t -> int -> bool
+
+  val events_processed : t -> int
+  (** Total events popped from the queue over this engine's lifetime
+      (delivers, timer firings, arrival batches, crashes) — the
+      numerator of events/sec throughput reporting. *)
 end

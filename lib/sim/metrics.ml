@@ -1,18 +1,48 @@
 module Summary = Tr_stats.Summary
 module Quantile = Tr_stats.Quantile
+module P2 = Tr_stats.P2
 
 type msg_class = Token_msg | Control_msg
+
+(* Streaming (O(1)-memory) percentile estimates of one sample stream —
+   the tail statistics large-N sweeps read when exact sample retention
+   would be wasteful. *)
+type sketches = { q50 : P2.t; q90 : P2.t; q99 : P2.t }
+
+let make_sketches () =
+  { q50 = P2.create ~p:0.5; q90 = P2.create ~p:0.9; q99 = P2.create ~p:0.99 }
+
+let sketch_add s x =
+  P2.add s.q50 x;
+  P2.add s.q90 x;
+  P2.add s.q99 x
 
 type t = {
   n : int;
   pending : float Queue.t array; (* arrival times, FIFO per node *)
+  (* Global arrival log with lazy deletion: entries are
+     [(node, per-node index, arrival)]. While arrivals come in
+     non-decreasing time order (true under the engine, which processes
+     events chronologically), the queue front — after discarding entries
+     whose request was already served — IS the earliest outstanding
+     arrival, making the responsiveness window lookup amortised O(1)
+     instead of an O(n) scan per serve. If a caller ever feeds
+     out-of-order arrivals directly, [fifo_monotone] trips and we fall
+     back to the scan, so the value is exact either way. *)
+  arrivals_fifo : (int * int * float) Queue.t;
+  arrival_idx : int array; (* arrivals recorded per node *)
+  served_idx : int array; (* serves recorded per node *)
+  mutable fifo_monotone : bool;
+  mutable last_arrival : float;
   mutable total_pending : int;
   mutable serves : int;
   mutable last_service_time : float;
   responsiveness : Summary.t;
   responsiveness_q : Quantile.t;
+  responsiveness_sk : sketches;
   waiting : Summary.t;
   waiting_q : Quantile.t;
+  waiting_sk : sketches;
   waiting_per_node : Summary.t array;
   mutable token_messages : int;
   mutable control_messages : int;
@@ -27,13 +57,20 @@ let create ~n =
   {
     n;
     pending = Array.init n (fun _ -> Queue.create ());
+    arrivals_fifo = Queue.create ();
+    arrival_idx = Array.make n 0;
+    served_idx = Array.make n 0;
+    fifo_monotone = true;
+    last_arrival = neg_infinity;
     total_pending = 0;
     serves = 0;
     last_service_time = neg_infinity;
     responsiveness = Summary.create ();
     responsiveness_q = Quantile.create ();
+    responsiveness_sk = make_sketches ();
     waiting = Summary.create ();
     waiting_q = Quantile.create ();
+    waiting_sk = make_sketches ();
     waiting_per_node = Array.init n (fun _ -> Summary.create ());
     token_messages = 0;
     control_messages = 0;
@@ -47,22 +84,44 @@ let n t = t.n
 
 let on_request t ~time ~node =
   Queue.push time t.pending.(node);
+  if time < t.last_arrival then t.fifo_monotone <- false
+  else t.last_arrival <- time;
+  Queue.push (node, t.arrival_idx.(node), time) t.arrivals_fifo;
+  t.arrival_idx.(node) <- t.arrival_idx.(node) + 1;
   t.total_pending <- t.total_pending + 1
 
-let earliest_outstanding t =
+(* O(n) fallback, allocation-free (no [peek_opt] option per node). *)
+let scan_earliest t =
   let best = ref infinity in
   Array.iter
     (fun q ->
-      match Queue.peek_opt q with
-      | Some arrival when arrival < !best -> best := arrival
-      | Some _ | None -> ())
+      if not (Queue.is_empty q) then begin
+        let arrival = Queue.peek q in
+        if arrival < !best then best := arrival
+      end)
     t.pending;
   !best
+
+let earliest_outstanding t =
+  if not t.fifo_monotone then scan_earliest t
+  else begin
+    let stale = ref true in
+    while !stale && not (Queue.is_empty t.arrivals_fifo) do
+      let node, idx, _ = Queue.peek t.arrivals_fifo in
+      if idx < t.served_idx.(node) then ignore (Queue.pop t.arrivals_fifo)
+      else stale := false
+    done;
+    if Queue.is_empty t.arrivals_fifo then infinity
+    else
+      let _, _, arrival = Queue.peek t.arrivals_fifo in
+      arrival
+  end
 
 let on_serve t ~time ~node =
   match Queue.take_opt t.pending.(node) with
   | None -> invalid_arg "Metrics.on_serve: no outstanding request at node"
   | Some arrival ->
+      t.served_idx.(node) <- t.served_idx.(node) + 1;
       (* [arrival] has already been popped, but it still bounds the window:
          the demand window opened at the earliest outstanding request,
          which is [min arrival (earliest remaining)]. *)
@@ -73,9 +132,11 @@ let on_serve t ~time ~node =
       let sample = time -. window_open in
       Summary.add t.responsiveness sample;
       Quantile.add t.responsiveness_q sample;
+      sketch_add t.responsiveness_sk sample;
       let waited = time -. arrival in
       Summary.add t.waiting waited;
       Quantile.add t.waiting_q waited;
+      sketch_add t.waiting_sk waited;
       Summary.add t.waiting_per_node.(node) waited;
       t.total_pending <- t.total_pending - 1;
       t.serves <- t.serves + 1;
@@ -100,8 +161,10 @@ let total_pending t = t.total_pending
 let serves t = t.serves
 let responsiveness t = t.responsiveness
 let responsiveness_quantiles t = t.responsiveness_q
+let responsiveness_sketches t = t.responsiveness_sk
 let waiting t = t.waiting
 let waiting_quantiles t = t.waiting_q
+let waiting_sketches t = t.waiting_sk
 let token_messages t = t.token_messages
 let control_messages t = t.control_messages
 let cheap_messages t = t.cheap_messages

@@ -2,7 +2,14 @@
 
     Entries with equal time leave the queue in insertion order (each push
     receives a monotone sequence number), which keeps executions
-    deterministic when many events share a timestamp. *)
+    deterministic when many events share a timestamp.
+
+    The implementation is a struct-of-arrays binary heap (flat [float
+    array] of times, [int array] of sequence numbers, payload slots):
+    pushes and pops move scalars between slots and allocate nothing in
+    steady state. Popped and cleared slots are overwritten with an
+    immediate filler, so the queue never pins a payload the caller has
+    already consumed. *)
 
 type 'a t
 
@@ -13,8 +20,25 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest entry (ties: oldest insertion first). *)
+(** Remove and return the earliest entry (ties: oldest insertion first).
+    Allocates the option/tuple; the event-loop hot path uses
+    {!top_time_exn} + {!pop_exn} instead. *)
+
+val pop_exn : 'a t -> 'a
+(** Allocation-free [pop]: remove and return the earliest payload.
+    @raise Invalid_argument on an empty queue. *)
 
 val peek_time : 'a t -> float option
 
+val top_time_exn : 'a t -> float
+(** Allocation-free [peek_time].
+    @raise Invalid_argument on an empty queue. *)
+
 val clear : 'a t -> unit
+(** Drop all pending entries (releasing their payloads to the GC).
+
+    [clear] does {e not} reset the internal sequence counter: entries
+    pushed after a [clear] still order after anything pushed before it
+    at an equal timestamp, so a queue reused across runs keeps the
+    global FIFO tie-break. Per-run sequence numbering comes from using a
+    fresh queue per run (as [Engine.create] does), never from [clear]. *)

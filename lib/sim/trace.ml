@@ -10,31 +10,131 @@ type event =
 
 type entry = { time : float; event : event }
 
-type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
+(* Entries live in two parallel growable arrays: an unboxed [float
+   array] of times and a generic array of events. Appending is O(1) with
+   no per-entry cons cell; iteration is forward, so accessors never
+   [List.rev]. In ring mode ([window = Some w]) the arrays are a
+   fixed-size circular buffer holding the most recent [w] entries. *)
+type t = {
+  enabled : bool;
+  window : int; (* 0 = unbounded; > 0 = ring capacity *)
+  mutable times : float array;
+  mutable evs : event array;
+  mutable head : int; (* index of the oldest stored entry (ring mode) *)
+  mutable stored : int; (* entries currently held *)
+  mutable total : int; (* entries ever recorded *)
+  (* Derived views are memoized until the next [record]. *)
+  mutable memo_events : entry list option;
+}
 
-let create ?(enabled = true) () = { enabled; rev_entries = []; count = 0 }
+(* Placeholder for unwritten slots; never returned. All [event]
+   constructors are boxed, so the array is generic and safe to share. *)
+let filler_event = Crashed { node = min_int }
+
+let create ?(enabled = true) ?window () =
+  let window =
+    match window with
+    | None -> 0
+    | Some w ->
+        if w < 1 then invalid_arg "Trace.create: window < 1";
+        w
+  in
+  let initial_cap = if window > 0 then window else 0 in
+  {
+    enabled;
+    window;
+    times = Array.make initial_cap 0.0;
+    evs = Array.make initial_cap filler_event;
+    head = 0;
+    stored = 0;
+    total = 0;
+    memo_events = None;
+  }
+
 let enabled t = t.enabled
+let ring_window t = if t.window = 0 then None else Some t.window
+
+let grow t =
+  let cap = Array.length t.times in
+  let cap' = Stdlib.max 64 (2 * cap) in
+  let times = Array.make cap' 0.0 in
+  let evs = Array.make cap' filler_event in
+  Array.blit t.times 0 times 0 t.stored;
+  Array.blit t.evs 0 evs 0 t.stored;
+  t.times <- times;
+  t.evs <- evs
 
 let record t ~time event =
   if t.enabled then begin
-    t.rev_entries <- { time; event } :: t.rev_entries;
-    t.count <- t.count + 1
+    t.memo_events <- None;
+    t.total <- t.total + 1;
+    if t.window = 0 then begin
+      if t.stored = Array.length t.times then grow t;
+      t.times.(t.stored) <- time;
+      t.evs.(t.stored) <- event;
+      t.stored <- t.stored + 1
+    end
+    else if t.stored < t.window then begin
+      let i = (t.head + t.stored) mod t.window in
+      t.times.(i) <- time;
+      t.evs.(i) <- event;
+      t.stored <- t.stored + 1
+    end
+    else begin
+      (* Full ring: overwrite the oldest entry and advance the head. *)
+      t.times.(t.head) <- time;
+      t.evs.(t.head) <- event;
+      t.head <- (t.head + 1) mod t.window
+    end
   end
 
-let events t = List.rev t.rev_entries
-let length t = t.count
-let filter t ~f = List.filter f (events t)
+let length t = t.total
+let stored_length t = t.stored
+let dropped t = t.total - t.stored
+
+(* Chronological iteration directly over the buffer — the shared
+   substrate of every accessor below. *)
+let iter t f =
+  if t.window = 0 then
+    for i = 0 to t.stored - 1 do
+      f t.times.(i) t.evs.(i)
+    done
+  else
+    for k = 0 to t.stored - 1 do
+      let i = (t.head + k) mod t.window in
+      f t.times.(i) t.evs.(i)
+    done
+
+let events t =
+  match t.memo_events with
+  | Some cached -> cached
+  | None ->
+      let acc = ref [] in
+      iter t (fun time event -> acc := { time; event } :: !acc);
+      let result = List.rev !acc in
+      t.memo_events <- Some result;
+      result
+
+let filter t ~f =
+  let acc = ref [] in
+  iter t (fun time event ->
+      let entry = { time; event } in
+      if f entry then acc := entry :: !acc);
+  List.rev !acc
+
+let collect t f =
+  let acc = ref [] in
+  iter t (fun time event ->
+      match f time event with Some x -> acc := x :: !acc | None -> ());
+  List.rev !acc
 
 let token_possessions t =
-  List.filter_map
-    (fun { time; event } ->
+  collect t (fun time event ->
       match event with Token_at { node } -> Some (time, node) | _ -> None)
-    (events t)
 
 let pending_series t =
   let count = ref 0 in
-  List.filter_map
-    (fun { time; event } ->
+  collect t (fun time event ->
       match event with
       | Request _ ->
           incr count;
@@ -43,26 +143,22 @@ let pending_series t =
           decr count;
           Some (time, !count)
       | _ -> None)
-    (events t)
 
 let served_series t =
   let count = ref 0 in
-  List.filter_map
-    (fun { time; event } ->
+  collect t (fun time event ->
       match event with
       | Served _ ->
           incr count;
           Some (time, !count)
       | _ -> None)
-    (events t)
 
 let running_mean_waiting t ~window =
   if window < 1 then invalid_arg "Trace.running_mean_waiting: window < 1";
   (* A ring buffer of the last [window] waits keeps this linear. *)
   let buffer = Array.make window 0.0 in
   let filled = ref 0 and cursor = ref 0 and sum = ref 0.0 in
-  List.filter_map
-    (fun { time; event } ->
+  collect t (fun time event ->
       match event with
       | Served { waited; _ } ->
           if !filled = window then sum := !sum -. buffer.(!cursor)
@@ -72,7 +168,6 @@ let running_mean_waiting t ~window =
           cursor := (!cursor + 1) mod window;
           Some (time, !sum /. float_of_int !filled)
       | _ -> None)
-    (events t)
 
 let pp_event ppf = function
   | Sent { src; dst; channel; label } ->
@@ -90,7 +185,5 @@ let pp_event ppf = function
   | Note { node; text } -> Format.fprintf ppf "note @%d: %s" node text
 
 let pp ppf t =
-  List.iter
-    (fun { time; event } ->
+  iter t (fun time event ->
       Format.fprintf ppf "%10.3f  %a@\n" time pp_event event)
-    (events t)

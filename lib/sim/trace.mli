@@ -3,8 +3,18 @@
     A trace records what happened and when, at a level of detail chosen by
     the caller. Tests use traces to assert ordering properties (FIFO trap
     service, fairness windows, token uniqueness); debugging uses the
-    pretty-printed form. Recording is O(1) per event into a growable
-    buffer; a disabled trace costs one branch per event. *)
+    pretty-printed form.
+
+    Storage is a growable pair of flat arrays (unboxed times + events):
+    recording is O(1) per event with no per-entry cons cell, iteration is
+    forward, and derived views are memoized until the next record. A
+    disabled trace costs one branch per event.
+
+    {b Ring mode.} [create ~window:w] bounds the trace to the most recent
+    [w] entries (O(window) memory however long the run); older entries are
+    silently discarded, {!length} still counts everything ever recorded,
+    and {!dropped} says how much the window lost. Derived series
+    reconstructed from a windowed trace see only the retained suffix. *)
 
 type event =
   | Sent of { src : int; dst : int; channel : Network.channel; label : string }
@@ -19,13 +29,32 @@ type event =
 type entry = { time : float; event : event }
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?window:int -> unit -> t
+(** [window] bounds the trace to its most recent [window] entries (ring
+    mode); omitted means unbounded.
+    @raise Invalid_argument if [window < 1]. *)
+
 val enabled : t -> bool
+
+val ring_window : t -> int option
+(** The ring capacity, or [None] for an unbounded trace. *)
+
 val record : t -> time:float -> event -> unit
+
 val events : t -> entry list
-(** Chronological (recording order). *)
+(** Chronological (recording order); in ring mode, the retained window
+    only. Memoized: repeated calls without an intervening {!record}
+    return the same list without rebuilding it. *)
 
 val length : t -> int
+(** Total number of events ever recorded (including any discarded by a
+    ring window). *)
+
+val stored_length : t -> int
+(** Number of events currently held ([length] minus {!dropped}). *)
+
+val dropped : t -> int
+(** Events discarded by the ring window (0 for unbounded traces). *)
 
 val filter : t -> f:(entry -> bool) -> entry list
 

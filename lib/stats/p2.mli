@@ -1,0 +1,27 @@
+(** Streaming quantile estimation, P-squared algorithm (Jain & Chlamtac,
+    CACM 1985).
+
+    A [t] tracks one quantile of a stream in O(1) memory (five markers)
+    and O(1) time per observation — the streaming complement to
+    {!Quantile}, which is exact but retains every sample. Accuracy is
+    typically within a fraction of a percent of the exact quantile for
+    smooth distributions once a few hundred samples have been seen; the
+    first five observations are stored and answered exactly. *)
+
+type t
+
+val create : p:float -> t
+(** Track the [p]-quantile ([0 < p < 1]).
+    @raise Invalid_argument outside that range. *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val probability : t -> float
+(** The [p] this sketch was created with. *)
+
+val estimate : t -> float
+(** Current estimate of the [p]-quantile; [nan] before any observation,
+    exact (interpolated) while [count <= 5]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -13,8 +13,8 @@ let results = lazy (Exp.all ~quick:true ~seed:11 ())
 let test_all_present () =
   let ids = List.map (fun r -> r.Exp.id) (Lazy.force results) in
   Alcotest.(check (list string)) "experiment index"
-    [ "FIG9"; "FIG10"; "LEM4"; "LEM6"; "THM2"; "THM3"; "OPT-MSG"; "TREE";
-      "ADAPT"; "DIST"; "WARMUP"; "SPACE" ]
+    [ "FIG9"; "FIG10"; "LARGE-N"; "LEM4"; "LEM6"; "THM2"; "THM3"; "OPT-MSG";
+      "TREE"; "ADAPT"; "DIST"; "WARMUP"; "SPACE" ]
     ids
 
 let test_tables_render () =
@@ -427,6 +427,38 @@ let test_scenario_runs_end_to_end () =
         (Tokenring.Metrics.serves o.Tokenring.Runner.metrics >= 60)
   | Error e, _ | _, Error e -> Alcotest.fail e
 
+(* ---------------- golden files ---------------- *)
+
+(* The CSVs and traces under test/golden/ were captured before the
+   flat-queue/pooled-event engine rewrite; byte-identity here is the
+   refactor's correctness bar — the optimized simulator must replay the
+   exact same event streams. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_golden_csv id golden () =
+  let r = find_result id (Lazy.force results) in
+  Alcotest.(check string)
+    (id ^ " table byte-identical to pre-refactor capture")
+    (read_file ("golden/" ^ golden))
+    (Series.Table.to_csv r.Exp.table)
+
+let golden_trace_config =
+  {
+    (Tokenring.Engine.default_config ~n:8 ~seed:3) with
+    workload = Tokenring.Workload.Global_poisson { mean_interarrival = 5.0 };
+    trace = true;
+  }
+
+let test_golden_trace protocol golden () =
+  let o =
+    Tokenring.Runner.run protocol golden_trace_config
+      ~stop:(Tokenring.Engine.After_serves 20)
+  in
+  Alcotest.(check string) "trace byte-identical to pre-refactor capture"
+    (read_file ("golden/" ^ golden))
+    (Format.asprintf "%a" Tokenring.Trace.pp o.Tokenring.Runner.trace)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -434,6 +466,18 @@ let () =
         [
           Alcotest.test_case "all present" `Quick test_all_present;
           Alcotest.test_case "tables render" `Quick test_tables_render;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "FIG9 csv" `Quick
+            (test_golden_csv "FIG9" "fig9_quick_seed11.csv");
+          Alcotest.test_case "FIG10 csv" `Quick
+            (test_golden_csv "FIG10" "fig10_quick_seed11.csv");
+          Alcotest.test_case "ring trace" `Quick
+            (test_golden_trace Tr_proto.Ring.protocol "trace_ring_n8_seed3.txt");
+          Alcotest.test_case "binsearch trace" `Quick
+            (test_golden_trace Tr_proto.Binsearch.protocol
+               "trace_binsearch_n8_seed3.txt");
         ] );
       ( "shapes",
         [

@@ -9,7 +9,9 @@ let log2 x = log x /. log 2.0
 let run_with (module P : Node_intf.PROTOCOL) ?(n = 32) ?(seed = 1)
     ?(workload = Workload.Nothing) ?(network = Network.default) ?(trace = false)
     ?(crashes = []) ~stop () =
-  let config = { Engine.n; seed; network; workload; trace; crashes } in
+  let config =
+    { Engine.n; seed; network; workload; trace; trace_window = None; crashes }
+  in
   Tokenring.Runner.run (module P) { config with trace } ~stop
 
 let poisson mean = Workload.Global_poisson { mean_interarrival = mean }

@@ -108,6 +108,75 @@ let prop_pqueue_sorted =
       let out = drain [] in
       List.sort Float.compare times = out)
 
+(* Reference model: a stable sorted association list. Times are drawn
+   from a tiny grid so equal keys are common and the FIFO tie-break is
+   exercised on every run, interleaved with pops and peeks. *)
+let prop_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches sorted-list model" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 200) (option (int_range 0 5)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some grid ->
+              let time = float_of_int grid in
+              Pqueue.push q ~time !next_id;
+              let rec ins = function
+                | (t', id') :: rest when t' <= time -> (t', id') :: ins rest
+                | rest -> (time, !next_id) :: rest
+              in
+              model := ins !model;
+              incr next_id
+          | None -> (
+              match (Pqueue.pop q, !model) with
+              | None, [] -> ()
+              | Some (t, id), (t', id') :: rest when t = t' && id = id' ->
+                  model := rest
+              | _ -> ok := false));
+          match (Pqueue.peek_time q, !model) with
+          | None, [] -> ()
+          | Some t, (t', _) :: _ when t = t' -> ()
+          | _ -> ok := false)
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
+(* Popping must blank the vacated slot: a queue that stays alive (here
+   via its keeper entry) must not pin payloads it already handed out. *)
+let test_pqueue_popped_slot_released () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:2.0 "keeper";
+  let w = Weak.create 1 in
+  let () =
+    let payload = String.init 32 (fun i -> Char.chr (65 + (i mod 26))) in
+    Weak.set w 0 (Some payload);
+    Pqueue.push q ~time:1.0 payload
+  in
+  (match Pqueue.pop q with
+  | Some (t, _) -> check_float "popped the early entry" 1.0 t
+  | None -> Alcotest.fail "queue was non-empty");
+  ignore (Sys.opaque_identity (Array.make 64 0));
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
+  Alcotest.(check int) "keeper still queued" 1 (Pqueue.length q)
+
+(* [clear] empties the queue but deliberately does NOT reset the
+   sequence counter (per-run numbering comes from a fresh queue, as
+   Engine.create makes one); FIFO tie order must survive a clear. *)
+let test_pqueue_clear_keeps_fifo () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~time:1.0 p) [ "old1"; "old2" ];
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  List.iter (fun p -> Pqueue.push q ~time:1.0 p) [ "x"; "y"; "z" ];
+  let payloads = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "ties still FIFO after clear"
+    [ "x"; "y"; "z" ] payloads
+
 (* ---------------- Network ---------------- *)
 
 let test_network_constant_delay () =
@@ -398,6 +467,54 @@ let test_trace_running_mean_window_slides () =
   Alcotest.(check (pair (float 1e-9) (float 1e-9)))
     "last two only" (3.0, 35.0) last
 
+(* Accessors must not rebuild the entry list on every call (the old list
+   representation re-reversed it each time): repeated [events] calls
+   return the memoized list itself, and recording invalidates it. *)
+let test_trace_events_memoized () =
+  let t = Trace.create () in
+  for i = 1 to 100 do
+    Trace.record t ~time:(float_of_int i) (Trace.Request { node = i })
+  done;
+  let first = Trace.events t in
+  Alcotest.(check bool) "second call returns the memoized list" true
+    (Trace.events t == first);
+  let bytes_before = Gc.allocated_bytes () in
+  for _ = 1 to 50 do
+    ignore (Sys.opaque_identity (Trace.events t))
+  done;
+  let per_call = (Gc.allocated_bytes () -. bytes_before) /. 50.0 in
+  Alcotest.(check bool) "memoized calls allocate ~nothing" true
+    (per_call < 128.0);
+  Trace.record t ~time:101.0 (Trace.Request { node = 0 });
+  Alcotest.(check bool) "recording invalidates the memo" true
+    (Trace.events t != first);
+  Alcotest.(check int) "still complete" 101 (List.length (Trace.events t))
+
+let test_trace_ring_window () =
+  let t = Trace.create ~window:3 () in
+  Alcotest.(check (option int)) "window exposed" (Some 3) (Trace.ring_window t);
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) (Trace.Request { node = i })
+  done;
+  Alcotest.(check int) "total ever recorded" 5 (Trace.length t);
+  Alcotest.(check int) "bounded retention" 3 (Trace.stored_length t);
+  Alcotest.(check int) "dropped count" 2 (Trace.dropped t);
+  let nodes =
+    List.map
+      (fun { Trace.event; _ } ->
+        match event with Trace.Request { node } -> node | _ -> -1)
+      (Trace.events t)
+  in
+  Alcotest.(check (list int)) "keeps the most recent, in order" [ 3; 4; 5 ]
+    nodes
+
+let test_trace_window_invalid () =
+  Alcotest.(check bool) "window 0 rejected" true
+    (try
+       ignore (Trace.create ~window:0 ());
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------------- Engine ---------------- *)
 
 (* A minimal ping protocol: node 0 sends Ping around the ring forever;
@@ -577,6 +694,69 @@ let test_engine_timer_cancellation () =
   Alcotest.(check (list int)) "t=3 key-1 cancelled by key-2 at t=2" [ 2; 1 ]
     (ET.state t 0).Timers.fired
 
+let test_engine_events_counter () =
+  let t = E.create (Engine.default_config ~n:4 ~seed:0) in
+  Alcotest.(check int) "no events before run" 0 (E.events_processed t);
+  E.run t ~stop:(Engine.At_time 10.0);
+  (* Unit-delay rotation: exactly one delivery per time unit. *)
+  Alcotest.(check int) "ten deliveries" 10 (E.events_processed t);
+  E.run t ~stop:(Engine.At_time 15.0);
+  Alcotest.(check int) "counter accumulates across runs" 15
+    (E.events_processed t)
+
+let test_engine_trace_window () =
+  let config =
+    {
+      (Engine.default_config ~n:4 ~seed:0) with
+      trace = true;
+      trace_window = Some 5;
+    }
+  in
+  let t = E.create config in
+  E.run t ~stop:(Engine.At_time 20.0);
+  let trace = E.trace t in
+  Alcotest.(check (option int)) "ring window wired" (Some 5)
+    (Trace.ring_window trace);
+  Alcotest.(check bool) "recorded more than the window" true
+    (Trace.length trace > 5);
+  Alcotest.(check int) "retention bounded" 5 (Trace.stored_length trace)
+
+(* Protocols use small positive timer keys; a key beyond the initial
+   scalar-table bound must grow the table, not corrupt epochs. *)
+module BigKey = struct
+  type state = { fired : int list }
+  type msg = Never3 [@warning "-37"]
+
+  let name = "big-key"
+  let describe = "uses a timer key past the initial keyspace"
+  let classify Never3 = Metrics.Control_msg
+  let label Never3 = "never"
+
+  let init (ctx : msg Node_intf.ctx) =
+    if ctx.self = 0 then begin
+      ctx.set_timer ~delay:1.0 ~key:97;
+      ctx.set_timer ~delay:2.0 ~key:97;
+      ctx.set_timer ~delay:3.0 ~key:2
+    end;
+    { fired = [] }
+
+  let on_message _ctx state ~src:_ Never3 = state
+
+  let on_timer (ctx : msg Node_intf.ctx) state ~key =
+    (* First key-97 firing cancels the second one. *)
+    if key = 97 && state.fired = [] then ctx.cancel_timers ~key:97;
+    { fired = key :: state.fired }
+
+  let on_request _ctx state = state
+end
+
+let test_engine_large_timer_key () =
+  let module EB = Engine.Make (BigKey) in
+  let t = EB.create (Engine.default_config ~n:2 ~seed:0) in
+  EB.run t ~stop:(Engine.At_time 10.0);
+  Alcotest.(check (list int)) "key-97 fires once, key-2 unaffected" [ 2; 97 ]
+    (EB.state t 0).BigKey.fired
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -597,8 +777,12 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "peek/clear" `Quick test_pqueue_peek_clear;
+          Alcotest.test_case "popped slot released" `Quick
+            test_pqueue_popped_slot_released;
+          Alcotest.test_case "clear keeps fifo" `Quick
+            test_pqueue_clear_keeps_fifo;
         ]
-        @ qsuite [ prop_pqueue_sorted ] );
+        @ qsuite [ prop_pqueue_sorted; prop_pqueue_model ] );
       ( "network",
         [
           Alcotest.test_case "constant delay" `Quick test_network_constant_delay;
@@ -638,6 +822,9 @@ let () =
           Alcotest.test_case "series" `Quick test_trace_series;
           Alcotest.test_case "running-mean window" `Quick
             test_trace_running_mean_window_slides;
+          Alcotest.test_case "events memoized" `Quick test_trace_events_memoized;
+          Alcotest.test_case "ring window" `Quick test_trace_ring_window;
+          Alcotest.test_case "window invalid" `Quick test_trace_window_invalid;
         ] );
       ( "engine",
         [
@@ -653,5 +840,9 @@ let () =
           Alcotest.test_case "rejects negative timer" `Quick
             test_engine_rejects_negative_timer;
           Alcotest.test_case "n too small" `Quick test_engine_n_too_small;
+          Alcotest.test_case "events counter" `Quick test_engine_events_counter;
+          Alcotest.test_case "trace window" `Quick test_engine_trace_window;
+          Alcotest.test_case "large timer key" `Quick
+            test_engine_large_timer_key;
         ] );
     ]

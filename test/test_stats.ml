@@ -131,6 +131,65 @@ let test_quantile_add_after_query () =
   Quantile.add q 100.0;
   check_float "max updated" 100.0 (Quantile.quantile q 1.0)
 
+(* ---------------- P2 (streaming quantiles) ---------------- *)
+
+module P2 = Tr_stats.P2
+
+let test_p2_empty_and_exact_prefix () =
+  let s = P2.create ~p:0.5 in
+  Alcotest.(check bool) "nan before data" true (Float.is_nan (P2.estimate s));
+  List.iter (P2.add s) [ 5.0; 1.0; 3.0 ];
+  (* <= 5 samples: exact interpolated quantile of {1,3,5}. *)
+  check_float "exact median" 3.0 (P2.estimate s);
+  Alcotest.(check int) "count" 3 (P2.count s);
+  check_float "probability" 0.5 (P2.probability s)
+
+let test_p2_invalid_p () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p = %g rejected" p)
+        true
+        (try
+           ignore (P2.create ~p);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; 1.0; -0.5; 1.5 ]
+
+(* Accuracy against the exact (sample-retaining) estimator on a smooth
+   stream: P² should land within a few percent of the true quantile. *)
+let test_p2_tracks_exact () =
+  let rng = Tr_sim.Rng.create 99 in
+  List.iter
+    (fun p ->
+      let sketch = P2.create ~p in
+      let exact = Quantile.create () in
+      for _ = 1 to 10_000 do
+        let x = Tr_sim.Rng.exponential rng ~mean:7.0 in
+        P2.add sketch x;
+        Quantile.add exact x
+      done;
+      let truth = Quantile.quantile exact p in
+      let err = Float.abs (P2.estimate sketch -. truth) /. truth in
+      if err > 0.05 then
+        Alcotest.failf "p=%g: sketch %.4f vs exact %.4f (err %.1f%%)" p
+          (P2.estimate sketch) truth (100.0 *. err))
+    [ 0.5; 0.9; 0.99 ]
+
+let prop_p2_within_sample_range =
+  QCheck.Test.make ~name:"P2 estimate stays within [min,max]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 60) (float_bound_exclusive 100.0))
+        (float_range 0.01 0.99))
+    (fun (xs, p) ->
+      let s = P2.create ~p in
+      List.iter (P2.add s) xs;
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      let est = P2.estimate s in
+      est >= lo -. 1e-9 && est <= hi +. 1e-9)
+
 let prop_quantile_monotone =
   QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
     QCheck.(
@@ -285,6 +344,15 @@ let () =
           Alcotest.test_case "add after query" `Quick test_quantile_add_after_query;
         ]
         @ qsuite [ prop_quantile_monotone; prop_iqr_nonnegative ] );
+      ( "p2",
+        [
+          Alcotest.test_case "empty/exact prefix" `Quick
+            test_p2_empty_and_exact_prefix;
+          Alcotest.test_case "invalid p" `Quick test_p2_invalid_p;
+          Alcotest.test_case "tracks exact estimator" `Quick
+            test_p2_tracks_exact;
+        ]
+        @ qsuite [ prop_p2_within_sample_range ] );
       ( "histogram",
         [
           Alcotest.test_case "basic" `Quick test_histogram_basic;
