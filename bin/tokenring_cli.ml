@@ -397,10 +397,290 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump a full event trace of a short run")
     Term.(const run $ protocol_arg $ nodes $ seed $ mean $ until)
 
+(* ---------------- live cluster commands ---------------- *)
+
+module Cluster = Tr_net_rt.Cluster
+module Live_export = Tr_net_rt.Live_export
+module Live_transport = Tr_net_rt.Transport
+
+let die fmt = Format.kasprintf (fun msg -> Format.eprintf "error: %s@." msg; exit 2) fmt
+
+(* "0-3,7" -> [0;1;2;3;7] *)
+let parse_id_ranges spec =
+  spec
+  |> String.split_on_char ','
+  |> List.filter (fun s -> s <> "")
+  |> List.concat_map (fun part ->
+         match String.index_opt part '-' with
+         | None -> [ int_of_string (String.trim part) ]
+         | Some i ->
+             let lo = int_of_string (String.trim (String.sub part 0 i)) in
+             let hi =
+               int_of_string
+                 (String.trim (String.sub part (i + 1) (String.length part - i - 1)))
+             in
+             List.init (hi - lo + 1) (fun k -> lo + k))
+
+let unit_arg =
+  Arg.(
+    value & opt float 1e-3
+    & info [ "unit" ] ~docv:"S" ~doc:"Wall seconds per time unit.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"J" ~doc:"Shard domains hosting the nodes (0 = auto).")
+
+let max_wall_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "max-wall" ] ~docv:"S" ~doc:"Hard wall-clock safety cap in seconds.")
+
+let grants_stop_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "grants" ] ~docv:"K" ~doc:"Stop after K served requests.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 1000.0
+    & info [ "duration" ] ~docv:"T"
+        ~doc:"Stop after T time units (ignored when --grants is given).")
+
+let uds_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "uds" ] ~docv:"DIR"
+        ~doc:"Cluster over Unix-domain sockets $(docv)/node-<i>.sock.")
+
+let tcp_base_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tcp-base" ] ~docv:"PORT"
+        ~doc:"Cluster over TCP; node i listens on $(docv)+i.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Host for --tcp-base addresses.")
+
+let own_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "own" ] ~docv:"IDS"
+        ~doc:
+          "Node ids this process hosts, as ranges (e.g. 0-3,7). Defaults to \
+           all N nodes; give disjoint subsets to split one cluster across \
+           processes.")
+
+let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration =
+  if n < 1 then die "need at least one node";
+  let stop =
+    match grants with
+    | Some k -> Cluster.Grants k
+    | None -> Cluster.Duration duration
+  in
+  let config =
+    { (Cluster.default_config ~n ~seed) with unit_s; load; stop; max_wall_s }
+  in
+  if shards > 0 then { config with shards } else config
+
+let resolve_backend ~n ~own ~uds ~tcp_base ~host =
+  let owned =
+    match own with
+    | None -> List.init n Fun.id
+    | Some spec -> parse_id_ranges spec
+  in
+  match (uds, tcp_base) with
+  | Some _, Some _ -> die "choose one of --uds and --tcp-base"
+  | Some dir, None ->
+      Some (Cluster.Sockets { owned; addrs = Live_transport.uds_addrs ~dir ~n })
+  | None, Some port ->
+      Some
+        (Cluster.Sockets
+           { owned; addrs = Live_transport.tcp_addrs ~host ~base_port:port ~n () })
+  | None, None ->
+      if own <> None then
+        die "--own only makes sense with a socket backend (--uds or --tcp-base)";
+      None
+
+let find_packed name =
+  match Tr_wire.Codecs.find name with
+  | Some p -> p
+  | None ->
+      die "unknown protocol %S; known: %s" name
+        (String.concat ", " Tr_wire.Codecs.names)
+
+let run_live ?backend config packed =
+  match backend with
+  | None -> Cluster.run_packed config packed
+  | Some b -> Cluster.run_packed ~backend:b config packed
+
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
+      duration =
+    if uds = None && tcp_base = None then
+      die "serve needs a socket backend: --uds DIR or --tcp-base PORT";
+    let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
+    let config =
+      live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load:Cluster.No_load
+        ~grants ~duration
+    in
+    let report = run_live ?backend config (find_packed protocol) in
+    print_string (Live_export.json_of_report report)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host (a subset of) a live cluster's nodes over real sockets; \
+          protocol logic is the simulator's, byte-for-byte")
+    Term.(
+      const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
+      $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
+      $ grants_stop_arg $ duration_arg)
+
+(* ---------------- loadgen ---------------- *)
+
+let loadgen_cmd =
+  let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
+      duration closed open_mean =
+    let load =
+      match (closed, open_mean) with
+      | Some _, Some _ -> die "choose one of --closed and --open"
+      | Some depth, None -> Cluster.Closed_loop { depth }
+      | None, Some mean_interarrival -> Cluster.Open_loop { mean_interarrival }
+      | None, None -> Cluster.Closed_loop { depth = 1 }
+    in
+    let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
+    let config =
+      live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load ~grants
+        ~duration
+    in
+    let report = run_live ?backend config (find_packed protocol) in
+    print_string (Live_export.json_of_report report)
+  in
+  let closed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "closed" ] ~docv:"DEPTH"
+          ~doc:"Closed-loop load: keep DEPTH requests outstanding per node.")
+  in
+  let open_mean =
+    Arg.(
+      value & opt (some float) None
+      & info [ "open" ] ~docv:"MEAN"
+          ~doc:"Open-loop load: Poisson arrivals with MEAN interarrival units.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a live cluster (in-process loopback by default, or this \
+          process's share of a socket cluster) with open- or closed-loop \
+          load; prints a stamped JSON report")
+    Term.(
+      const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
+      $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
+      $ grants_stop_arg $ duration_arg $ closed $ open_mean)
+
+(* ---------------- cluster-bench ---------------- *)
+
+let cluster_bench_cmd =
+  let run protocols ns_spec seed grants mean unit_s shards max_wall json =
+    let protocols = if protocols = [] then [ "ring"; "binsearch" ] else protocols in
+    let ns = parse_id_ranges ns_spec in
+    if ns = [] then die "empty -N sweep";
+    List.iter (fun p -> ignore (find_packed p)) protocols;
+    let reports = ref [] in
+    let rows =
+      List.map
+        (fun n ->
+          let values =
+            List.map
+              (fun protocol ->
+                let config =
+                  live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall
+                    ~load:(Cluster.Open_loop { mean_interarrival = mean })
+                    ~grants:(Some grants) ~duration:0.0
+                in
+                let report = run_live config (find_packed protocol) in
+                reports := report :: !reports;
+                if report.Cluster.decode_errors > 0 then
+                  die "%s n=%d: %d decode errors" protocol n
+                    report.Cluster.decode_errors;
+                Format.eprintf "bench %-12s n=%3d: %5d grants, resp %8.2f, %.1fs wall@."
+                  protocol n report.Cluster.grants
+                  (Tr_stats.Summary.mean
+                     (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
+                  report.Cluster.wall_s;
+                Tr_stats.Summary.mean
+                  (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
+              protocols
+          in
+          (float_of_int n, values))
+        ns
+    in
+    if json then
+      List.iter
+        (fun r -> print_string (Live_export.json_of_report r))
+        (List.rev !reports)
+    else begin
+      (* FIG9-schema CSV, stamped with provenance comment lines. *)
+      Printf.printf "# live cluster-bench: mean responsiveness (time units) vs N\n";
+      Printf.printf "# protocols=%s seed=%d grants=%d open-mean=%g unit=%g backend=loopback git=%s\n"
+        (String.concat "+" protocols) seed grants mean unit_s
+        (Live_export.git_describe ());
+      print_string (Live_export.csv_of_table ~x_label:"n" ~cols:protocols rows)
+    end
+  in
+  let protocols =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PROTOCOL"
+          ~doc:"Protocols to sweep (default: ring binsearch).")
+  in
+  let ns_spec =
+    Arg.(
+      value & opt string "4,8,16,32"
+      & info [ "N"; "sizes" ] ~docv:"LIST" ~doc:"Cluster sizes, e.g. 4,8,16,32.")
+  in
+  let grants =
+    Arg.(
+      value & opt int 200
+      & info [ "grants" ] ~docv:"K" ~doc:"Served requests per point.")
+  in
+  let mean =
+    Arg.(
+      value & opt float 10.0
+      & info [ "open" ] ~docv:"MEAN" ~doc:"Poisson mean interarrival (units).")
+  in
+  let bench_unit =
+    Arg.(
+      value & opt float 5e-4
+      & info [ "unit" ] ~docv:"S" ~doc:"Wall seconds per time unit.")
+  in
+  Cmd.v
+    (Cmd.info "cluster-bench"
+       ~doc:
+         "Sweep live loopback clusters over N and emit the paper's \
+          figure-9 comparison (ring O(N) vs delegated binsearch O(log N)) \
+          as stamped CSV, or per-run JSON reports with --json")
+    Term.(
+      const run $ protocols $ ns_spec $ seed $ grants $ mean $ bench_unit
+      $ shards_arg $ max_wall_arg
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit one JSON report per run instead of CSV."))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "tokenring-cli" ~version:"1.0.0"
       ~doc:"Adaptive token-passing protocols (Englert-Rudolph-Shvartsman 2001)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd;
+            trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd ]))

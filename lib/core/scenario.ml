@@ -140,9 +140,15 @@ let network_of_string spec =
             | Some factor -> base *. factor
             | None -> base)
   in
-  Ok
-    (Network.create ~reliable_delay:delay ~cheap_delay:delay
-       ~cheap_drop_probability:acc.drop ())
+  match
+    Network.create ~reliable_delay:delay ~cheap_delay:delay
+      ~cheap_drop_probability:acc.drop ()
+  with
+  | network -> Ok network
+  | exception Invalid_argument msg ->
+      (* Config-time validation (inverted uniform bounds and the like)
+         surfaces as a parse error, not a crash mid-run. *)
+      Error msg
 
 let workload_examples =
   [ "poisson:10"; "pernode:50"; "burst:25,4"; "hotspot:10,3,0.8";

@@ -1,0 +1,15 @@
+type t = { epoch : float; unit_s : float }
+
+let create ?(unit_s = 1e-3) () =
+  if not (Float.is_finite unit_s) || unit_s <= 0.0 then
+    invalid_arg "Clock.create: unit_s must be positive and finite";
+  { epoch = Unix.gettimeofday (); unit_s }
+
+let unit_s t = t.unit_s
+let now t = (Unix.gettimeofday () -. t.epoch) /. t.unit_s
+let elapsed_wall t = Unix.gettimeofday () -. t.epoch
+
+let sleep_until t units =
+  let target = t.epoch +. (units *. t.unit_s) in
+  let d = target -. Unix.gettimeofday () in
+  if d > 0.0 then Unix.sleepf d

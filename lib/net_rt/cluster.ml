@@ -1,0 +1,395 @@
+open Tr_sim
+open Tr_wire
+
+type load =
+  | No_load
+  | Open_loop of { mean_interarrival : float }
+  | Closed_loop of { depth : int }
+
+type stop = Grants of int | Duration of float
+
+type config = {
+  n : int;
+  seed : int;
+  unit_s : float;
+  shards : int;
+  hop_delay : float;
+  cheap_delay : float;
+  load : load;
+  stop : stop;
+  max_wall_s : float;
+}
+
+let default_shards n = Stdlib.min n (Stdlib.max 2 (Domain.recommended_domain_count ()))
+
+let default_config ~n ~seed =
+  {
+    n;
+    seed;
+    unit_s = 1e-3;
+    shards = default_shards n;
+    hop_delay = 1.0;
+    cheap_delay = 1.0;
+    load = No_load;
+    stop = Duration 1000.0;
+    max_wall_s = 60.0;
+  }
+
+type control = {
+  kill : int -> unit;
+  request_stop : unit -> unit;
+  live_now : unit -> float;
+}
+
+type report = {
+  protocol : string;
+  n : int;
+  seed : int;
+  backend : string;
+  unit_s : float;
+  shards : int;
+  wall_s : float;
+  duration_units : float;
+  grants : int;
+  frames_sent : int;
+  bytes_sent : int;
+  frames_received : int;
+  decode_errors : int;
+  reconnects : int;
+  metrics : Metrics.t;
+}
+
+type backend_spec =
+  | Loopback
+  | Sockets of { owned : int list; addrs : Unix.sockaddr array }
+
+(* Per-node live state. [st] is the protocol's pure state; everything
+   else is runtime plumbing owned by exactly one shard. *)
+type ('state, 'msg) rt = {
+  id : int;
+  mutable st : 'state;
+  ctx : 'msg Node_intf.ctx;
+}
+
+(* When a shard can't bound its next event (socket backend, or frames
+   that other domains may queue mid-sleep), it naps at most this many
+   units so surprises are picked up promptly. *)
+let idle_cap_units = 0.5
+
+(* Socket reads have no due-time oracle; poll at sub-millisecond wall
+   cadence regardless of the unit scale. *)
+let socket_poll_wall_s = 0.0005
+
+let validate (config : config) =
+  if config.n < 2 then invalid_arg "Cluster.run: n < 2";
+  if config.shards < 1 then invalid_arg "Cluster.run: shards < 1";
+  if not (Float.is_finite config.hop_delay) || config.hop_delay < 0.0 then
+    invalid_arg "Cluster.run: hop_delay must be finite and non-negative";
+  if not (Float.is_finite config.cheap_delay) || config.cheap_delay < 0.0 then
+    invalid_arg "Cluster.run: cheap_delay must be finite and non-negative";
+  if config.max_wall_s <= 0.0 then invalid_arg "Cluster.run: max_wall_s <= 0";
+  (match config.load with
+  | No_load -> ()
+  | Open_loop { mean_interarrival } ->
+      if not (Float.is_finite mean_interarrival) || mean_interarrival <= 0.0
+      then invalid_arg "Cluster.run: open-loop mean interarrival <= 0"
+  | Closed_loop { depth } ->
+      if depth < 1 then invalid_arg "Cluster.run: closed-loop depth < 1");
+  match config.stop with
+  | Grants k -> if k < 1 then invalid_arg "Cluster.run: grants target < 1"
+  | Duration d ->
+      if not (Float.is_finite d) || d <= 0.0 then
+        invalid_arg "Cluster.run: duration <= 0"
+
+let run (type m) ?tap ?(backend = Loopback) config
+    (module P : Node_intf.PROTOCOL with type msg = m) (codec : m Codec.t) :
+    report =
+  validate config;
+  let n = config.n in
+  let clock = Clock.create ~unit_s:config.unit_s () in
+  let transport, owned =
+    match backend with
+    | Loopback -> (Transport.loopback ~clock ~n, List.init n Fun.id)
+    | Sockets { owned; addrs } ->
+        if owned = [] then invalid_arg "Cluster.run: no nodes to host";
+        (Transport.sockets ~clock ~n ~owned ~addrs, List.sort_uniq compare owned)
+  in
+  let owned_arr = Array.of_list owned in
+  let metrics = Metrics.create ~n in
+  let mu = Mutex.create () in
+  let with_mu f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
+  let stop_flag = Atomic.make false in
+  let alive = Array.init n (fun _ -> Atomic.make true) in
+  let failure_box : exn option Atomic.t = Atomic.make None in
+  (* Timer plumbing, index-addressed so ctx closures need no [rt]. *)
+  let timers = Array.init n (fun _ -> Pqueue.create ()) in
+  let epochs = Array.init n (fun _ -> Hashtbl.create 8) in
+  let req_inbox : float Mailbox.t array = Array.init n (fun _ -> Mailbox.create ()) in
+  let current_epoch ~node ~key =
+    match Hashtbl.find_opt epochs.(node) key with Some e -> e | None -> 0
+  in
+  let control =
+    {
+      kill =
+        (fun i ->
+          if i >= 0 && i < n then Atomic.set alive.(i) false);
+      request_stop = (fun () -> Atomic.set stop_flag true);
+      live_now = (fun () -> Clock.now clock);
+    }
+  in
+  let make_ctx node : m Node_intf.ctx =
+    let rng = Rng.create ((config.seed * 1_000_003) + node) in
+    let send ?(channel = Network.Reliable) ~dst msg =
+      if dst < 0 || dst >= n then
+        invalid_arg "Cluster: send destination out of range";
+      with_mu (fun () -> Metrics.on_message metrics channel (P.classify msg));
+      let frame = Codec.encode_envelope codec ~src:node ~channel msg in
+      let delay =
+        match channel with
+        | Network.Reliable -> config.hop_delay
+        | Network.Cheap -> config.cheap_delay
+      in
+      Transport.send transport ~src:node ~dst ~delay frame
+    in
+    let set_timer ~delay ~key =
+      if delay < 0.0 then invalid_arg "Cluster: negative timer delay";
+      if key < 0 then invalid_arg "Cluster: negative timer key";
+      Pqueue.push timers.(node)
+        ~time:(Clock.now clock +. delay)
+        (key, current_epoch ~node ~key)
+    in
+    let cancel_timers ~key =
+      if key < 0 then invalid_arg "Cluster: negative timer key";
+      Hashtbl.replace epochs.(node) key (current_epoch ~node ~key + 1)
+    in
+    let serve () =
+      let t = Clock.now clock in
+      let grants =
+        with_mu (fun () ->
+            (match Metrics.oldest_arrival metrics ~node with
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Cluster: node %d served with no pending request" node)
+            | Some _ -> Metrics.on_serve metrics ~time:t ~node);
+            Metrics.serves metrics)
+      in
+      (match config.load with
+      | Closed_loop _ ->
+          (* Re-arm through the mailbox so the protocol handler finishes
+             before the next on_request fires (the simulator queues the
+             re-request as an event for the same reason). *)
+          Mailbox.push req_inbox.(node) (Clock.now clock)
+      | _ -> ());
+      match config.stop with
+      | Grants k -> if grants >= k then Atomic.set stop_flag true
+      | Duration _ -> ()
+    in
+    {
+      Node_intf.self = node;
+      n;
+      now = (fun () -> Clock.now clock);
+      rng;
+      send;
+      set_timer;
+      cancel_timers;
+      serve;
+      pending = (fun () -> with_mu (fun () -> Metrics.pending metrics ~node));
+      possession =
+        (fun () -> with_mu (fun () -> Metrics.on_token_possession metrics ~node));
+      search_forward =
+        (fun () -> with_mu (fun () -> Metrics.on_search_forward metrics));
+      note = (fun _ -> ());
+    }
+  in
+  (* Initialise every hosted node before any shard runs: init sends (the
+     initial token) sit queued in the transport until the loops start. *)
+  let rts =
+    List.map
+      (fun i ->
+        let ctx = make_ctx i in
+        { id = i; st = P.init ctx; ctx })
+      owned
+  in
+  (* Closed-loop priming: [depth] outstanding requests per node at t=0. *)
+  (match config.load with
+  | Closed_loop { depth } ->
+      let t0 = Clock.now clock in
+      List.iter
+        (fun i ->
+          for _ = 1 to depth do
+            Mailbox.push req_inbox.(i) t0
+          done)
+        owned
+  | _ -> ());
+  (* Open-loop generator state: Poisson arrivals over the live hosted
+     nodes, pumped by the lead shard. *)
+  let open_loop =
+    match config.load with
+    | Open_loop { mean_interarrival } ->
+        let rng = Rng.create (config.seed lxor 0x5DEECE66D) in
+        let next = ref (Rng.exponential rng ~mean:mean_interarrival) in
+        let pump now_u =
+          while !next <= now_u && not (Atomic.get stop_flag) do
+            let live =
+              Array.to_list owned_arr
+              |> List.filter (fun i -> Atomic.get alive.(i))
+            in
+            (match live with
+            | [] -> Atomic.set stop_flag true
+            | _ ->
+                let pick = List.nth live (Rng.int rng (List.length live)) in
+                Mailbox.push req_inbox.(pick) !next);
+            next := !next +. Rng.exponential rng ~mean:mean_interarrival
+          done
+        in
+        Some (pump, next)
+    | _ -> None
+  in
+  let step_node rt now_u =
+    let i = rt.id in
+    let arrivals = Mailbox.drain req_inbox.(i) in
+    if Atomic.get alive.(i) then begin
+      List.iter
+        (fun at ->
+          with_mu (fun () -> Metrics.on_request metrics ~time:at ~node:i);
+          rt.st <- P.on_request rt.ctx rt.st)
+        arrivals;
+      let tq = timers.(i) in
+      let deliver ?upto () =
+        Transport.poll transport ?upto ~owner:i (fun payload ->
+            match Codec.decode_envelope codec payload with
+            | Error _ -> Transport.count_decode_error transport
+            | Ok { Codec.src; channel = _; msg } ->
+                if Atomic.get alive.(i) then begin
+                  rt.st <- P.on_message rt.ctx rt.st ~src msg;
+                  (* The tap observes a *processed* delivery, so a tap
+                     that kills this node models a crash just after
+                     handling the message — e.g. while holding a token
+                     it has already acknowledged. *)
+                  match tap with Some f -> f control ~self:i msg | None -> ()
+                end)
+      in
+      (* Interleave timers and frame deliveries in due-time order, as
+         the discrete-event engine would: when the shard runs late both
+         may be due at once, and firing an ack timeout before the ack
+         frame that precedes it would fabricate a failure. *)
+      let continue = ref true in
+      while
+        !continue && (not (Pqueue.is_empty tq)) && Pqueue.top_time_exn tq <= now_u
+      do
+        let tt = Pqueue.top_time_exn tq in
+        deliver ~upto:tt ();
+        (* Deliveries may have armed an earlier timer or cancelled this
+           one; only fire if this slot is still frontmost. *)
+        if (not (Pqueue.is_empty tq)) && Pqueue.top_time_exn tq <= tt then begin
+          let key, ep = Pqueue.pop_exn tq in
+          if Atomic.get alive.(i) then begin
+            if current_epoch ~node:i ~key = ep then
+              rt.st <- P.on_timer rt.ctx rt.st ~key
+          end
+          else continue := false
+        end
+      done;
+      if Atomic.get alive.(i) then deliver ()
+      else begin
+        Pqueue.clear tq;
+        Transport.poll transport ~owner:i (fun _ -> ())
+      end
+    end
+    else begin
+      (* Dead node: everything addressed to it evaporates. *)
+      Pqueue.clear timers.(i);
+      Transport.poll transport ~owner:i (fun _ -> ())
+    end
+  in
+  let next_event_units shard_rts now_u =
+    List.fold_left
+      (fun acc rt ->
+        let acc =
+          if Mailbox.is_empty req_inbox.(rt.id) then acc else now_u
+        in
+        let acc =
+          match Pqueue.peek_time timers.(rt.id) with
+          | Some t -> Float.min acc t
+          | None -> acc
+        in
+        match Transport.next_due transport ~owner:rt.id with
+        | Some t -> Float.min acc t
+        | None ->
+            (* Loopback with an empty queue has nothing due (new frames
+               are bounded by the idle cap); sockets must be polled. *)
+            if Transport.poll_driven transport then
+              Float.min acc (now_u +. (socket_poll_wall_s /. config.unit_s))
+            else acc)
+      infinity shard_rts
+  in
+  let shard_loop ~lead shard_rts () =
+    try
+      while not (Atomic.get stop_flag) do
+        if Clock.elapsed_wall clock > config.max_wall_s then
+          Atomic.set stop_flag true
+        else begin
+          let now_u = Clock.now clock in
+          if lead then begin
+            (match config.stop with
+            | Duration d -> if now_u >= d then Atomic.set stop_flag true
+            | Grants _ -> ());
+            match open_loop with Some (pump, _) -> pump now_u | None -> ()
+          end;
+          List.iter (fun rt -> step_node rt now_u) shard_rts;
+          let now2 = Clock.now clock in
+          let next = next_event_units shard_rts now2 in
+          let next =
+            if lead then
+              match open_loop with
+              | Some (_, next_at) -> Float.min next !next_at
+              | None -> next
+            else next
+          in
+          let target = Float.min (now2 +. idle_cap_units) next in
+          if target > now2 && not (Atomic.get stop_flag) then
+            Clock.sleep_until clock target
+        end
+      done
+    with e ->
+      ignore (Atomic.compare_and_set failure_box None (Some e));
+      Atomic.set stop_flag true
+  in
+  let shards = Stdlib.min config.shards (List.length rts) in
+  let shard_nodes =
+    List.init shards (fun s ->
+        List.filteri (fun idx _ -> idx mod shards = s) rts)
+  in
+  let domains =
+    List.mapi
+      (fun s nodes -> Domain.spawn (shard_loop ~lead:(s = 0) nodes))
+      shard_nodes
+  in
+  List.iter Domain.join domains;
+  Transport.close transport;
+  (match Atomic.get failure_box with Some e -> raise e | None -> ());
+  let s = Transport.stats transport in
+  {
+    protocol = P.name;
+    n;
+    seed = config.seed;
+    backend = Transport.name transport;
+    unit_s = config.unit_s;
+    shards;
+    wall_s = Clock.elapsed_wall clock;
+    duration_units = Clock.now clock;
+    grants = Metrics.serves metrics;
+    frames_sent = Atomic.get s.frames_sent;
+    bytes_sent = Atomic.get s.bytes_sent;
+    frames_received = Atomic.get s.frames_received;
+    decode_errors = Atomic.get s.decode_errors;
+    reconnects = Atomic.get s.reconnects;
+    metrics;
+  }
+
+let run_packed ?backend config (Codecs.Packed ((module P), codec)) =
+  run ?backend config (module P) codec

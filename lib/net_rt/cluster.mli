@@ -1,0 +1,94 @@
+(** Live cluster runner: the simulator's protocols over real transports.
+
+    Every protocol in [lib/proto/] is a pure state machine against the
+    {!Tr_sim.Node_intf.ctx} capability record; the simulator implements
+    that record over a virtual event queue, and this module implements it
+    over wall-clock time and a {!Transport} — the protocol code runs
+    unchanged, byte-for-byte.
+
+    Nodes are sharded across a configurable number of domains (the
+    container may have a single core, so one-domain-per-node would
+    oversubscribe; shards sleep when idle instead of spinning). Each
+    shard runs an event loop over the nodes it owns: fire due timers,
+    poll the transport for frames, decode them through the protocol's
+    codec, and process injected load. Metrics feed the {e same}
+    {!Tr_sim.Metrics} accumulator the simulator uses — responsiveness is
+    Definition 3 in both worlds, in the same units. *)
+
+type load =
+  | No_load  (** Token circulation only. *)
+  | Open_loop of { mean_interarrival : float }
+      (** Poisson arrivals (mean gap in units), uniform over live nodes. *)
+  | Closed_loop of { depth : int }
+      (** Keep each node's outstanding-request count topped up to
+          [depth]; a serve immediately re-arms. *)
+
+type stop =
+  | Grants of int  (** Stop once this many requests have been served. *)
+  | Duration of float  (** Stop after this many time units. *)
+
+type config = {
+  n : int;
+  seed : int;
+  unit_s : float;  (** Wall seconds per time unit. *)
+  shards : int;
+  hop_delay : float;  (** Loopback reliable-hop delay, units. *)
+  cheap_delay : float;  (** Loopback cheap-channel delay, units. *)
+  load : load;
+  stop : stop;
+  max_wall_s : float;  (** Hard safety limit on wall time. *)
+}
+
+val default_config : n:int -> seed:int -> config
+(** 1 ms units, one-unit hops on both channels, [No_load],
+    [Duration 1000.], 60 s wall cap, shards from
+    [Domain.recommended_domain_count]. *)
+
+(** Handle passed to the {!run} [tap]: lets a test kill a node mid-run or
+    end the run early. *)
+type control = {
+  kill : int -> unit;
+      (** Stop delivering frames, timers and load to this node — it
+          vanishes without ceremony, like a crash. *)
+  request_stop : unit -> unit;
+  live_now : unit -> float;
+}
+
+type report = {
+  protocol : string;
+  n : int;
+  seed : int;
+  backend : string;
+  unit_s : float;
+  shards : int;
+  wall_s : float;
+  duration_units : float;
+  grants : int;
+  frames_sent : int;
+  bytes_sent : int;
+  frames_received : int;
+  decode_errors : int;
+  reconnects : int;
+  metrics : Tr_sim.Metrics.t;
+}
+
+type backend_spec =
+  | Loopback
+  | Sockets of { owned : int list; addrs : Unix.sockaddr array }
+
+val run :
+  ?tap:(control -> self:int -> 'm -> unit) ->
+  ?backend:backend_spec ->
+  config ->
+  (module Tr_sim.Node_intf.PROTOCOL with type msg = 'm) ->
+  'm Tr_wire.Codec.t ->
+  report
+(** Blocks until the stop condition (or wall cap) is reached, then joins
+    all shard domains and closes the transport. [tap] observes every
+    processed delivery on the receiving shard's domain (after the
+    protocol's [on_message]) — it must do its own locking if it
+    accumulates state. A tap that kills the receiving node models a
+    crash just after handling the message. *)
+
+val run_packed : ?backend:backend_spec -> config -> Tr_wire.Codecs.packed -> report
+(** {!run} over a registry entry (protocol paired with its codec). *)

@@ -1,0 +1,10 @@
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let rec push t x =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (x :: old)) then push t x
+
+let drain t = List.rev (Atomic.exchange t [])
+let is_empty t = match Atomic.get t with [] -> true | _ -> false

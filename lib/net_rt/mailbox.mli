@@ -1,0 +1,17 @@
+(** Lock-free multi-producer / single-consumer mailbox.
+
+    Producers on any domain [push]; the single owning consumer [drain]s
+    everything in FIFO order. The implementation is a Treiber stack on an
+    [Atomic]: push is one CAS loop, drain is one [exchange] plus a
+    reversal — no mutex anywhere, which is what lets loopback transport
+    sends cross domains without blocking a shard's event loop. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val drain : 'a t -> 'a list
+(** All queued items, oldest first. The mailbox is left empty. *)
+
+val is_empty : 'a t -> bool

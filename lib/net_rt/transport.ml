@@ -1,0 +1,345 @@
+open Tr_wire
+
+type stats = {
+  frames_sent : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  frames_received : int Atomic.t;
+  decode_errors : int Atomic.t;
+  reconnects : int Atomic.t;
+}
+
+let make_stats () =
+  {
+    frames_sent = Atomic.make 0;
+    bytes_sent = Atomic.make 0;
+    frames_received = Atomic.make 0;
+    decode_errors = Atomic.make 0;
+    reconnects = Atomic.make 0;
+  }
+
+type t = {
+  name : string;
+  stats : stats;
+  poll_driven : bool;
+  send : src:int -> dst:int -> delay:float -> string -> unit;
+  poll : owner:int -> upto:float -> (string -> unit) -> unit;
+  next_due : owner:int -> float option;
+  close : unit -> unit;
+}
+
+let name t = t.name
+let stats t = t.stats
+let poll_driven t = t.poll_driven
+let send t = t.send
+let poll t ?(upto = infinity) ~owner f = t.poll ~owner ~upto f
+let next_due t = t.next_due
+let count_decode_error t = Atomic.incr t.stats.decode_errors
+let close t = t.close ()
+
+(* Pull every complete payload out of [dec], counting frames and skips. *)
+let drain_decoder stats dec f =
+  let rec go () =
+    match Frame.Decoder.next dec with
+    | Frame.Decoder.Frame payload ->
+        Atomic.incr stats.frames_received;
+        f payload;
+        go ()
+    | Frame.Decoder.Skip _ ->
+        Atomic.incr stats.decode_errors;
+        go ()
+    | Frame.Decoder.Await -> ()
+  in
+  go ()
+
+let check_node ~what ~n i =
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Transport: %s node %d out of range" what i)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Loopback = struct
+  type node = {
+    (* Cross-domain side: producers push (due, frame). *)
+    inbox : (float * string) Mailbox.t;
+    (* Owner-shard side: deliveries ordered by due time. *)
+    pending : string Tr_sim.Pqueue.t;
+    dec : Frame.Decoder.t;
+  }
+
+  let make_node () =
+    {
+      inbox = Mailbox.create ();
+      pending = Tr_sim.Pqueue.create ();
+      dec = Frame.Decoder.create ();
+    }
+
+  (* Move everything the other domains queued into the owner's heap. *)
+  let settle node =
+    List.iter
+      (fun (due, frame) -> Tr_sim.Pqueue.push node.pending ~time:due frame)
+      (Mailbox.drain node.inbox)
+
+  let create ~clock ~n =
+    let stats = make_stats () in
+    let nodes = Array.init n (fun _ -> make_node ()) in
+    let send ~src ~dst ~delay frame =
+      check_node ~what:"send src" ~n src;
+      check_node ~what:"send dst" ~n dst;
+      ignore src;
+      Atomic.incr stats.frames_sent;
+      ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
+      let due = Clock.now clock +. Float.max 0.0 delay in
+      Mailbox.push nodes.(dst).inbox (due, frame)
+    in
+    let poll ~owner ~upto f =
+      check_node ~what:"poll owner" ~n owner;
+      let node = nodes.(owner) in
+      settle node;
+      let now = Float.min (Clock.now clock) upto in
+      let rec deliver () =
+        if
+          (not (Tr_sim.Pqueue.is_empty node.pending))
+          && Tr_sim.Pqueue.top_time_exn node.pending <= now
+        then begin
+          let frame = Tr_sim.Pqueue.pop_exn node.pending in
+          Frame.Decoder.feed node.dec frame;
+          drain_decoder stats node.dec f;
+          deliver ()
+        end
+      in
+      deliver ()
+    in
+    let next_due ~owner =
+      check_node ~what:"next_due owner" ~n owner;
+      let node = nodes.(owner) in
+      settle node;
+      Tr_sim.Pqueue.peek_time node.pending
+    in
+    {
+      name = "loopback";
+      stats;
+      poll_driven = false;
+      send;
+      poll;
+      next_due;
+      close = (fun () -> ());
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sockets (TCP / Unix-domain)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Sockets = struct
+  let backoff_min = 0.01
+  let backoff_max = 1.0
+
+  type conn_in = { fd : Unix.file_descr; dec : Frame.Decoder.t }
+
+  type conn_out = {
+    addr : Unix.sockaddr;
+    mutable fd : Unix.file_descr option;
+    mutable pending : string;  (** Bytes accepted but not yet written. *)
+    mutable backoff : float;
+    mutable retry_at : float;  (** Wall time before which we won't dial. *)
+  }
+
+  type node = {
+    id : int;
+    listen : Unix.file_descr;
+    mutable ins : conn_in list;
+    outs : conn_out option array;
+    readbuf : Bytes.t;
+  }
+
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let tear_down stats co =
+    (match co.fd with Some fd -> close_quietly fd | None -> ());
+    co.fd <- None;
+    co.backoff <- Float.min backoff_max (Float.max backoff_min (2.0 *. co.backoff));
+    co.retry_at <- Unix.gettimeofday () +. co.backoff;
+    Atomic.incr stats.reconnects
+
+  let dial stats co =
+    let fd = Unix.socket (Unix.domain_of_sockaddr co.addr) Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    match Unix.connect fd co.addr with
+    | () -> co.fd <- Some fd
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN | EINTR), _, _)
+      ->
+        co.fd <- Some fd
+    | exception Unix.Unix_error (_, _, _) ->
+        close_quietly fd;
+        co.fd <- None;
+        tear_down stats co
+
+  let rec flush stats co =
+    if String.length co.pending > 0 then
+      match co.fd with
+      | None -> if Unix.gettimeofday () >= co.retry_at then (dial stats co; flush stats co)
+      | Some fd -> (
+          match
+            Unix.write_substring fd co.pending 0 (String.length co.pending)
+          with
+          | wrote ->
+              co.backoff <- backoff_min;
+              co.pending <-
+                String.sub co.pending wrote (String.length co.pending - wrote)
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | EINTR | ENOTCONN | EINPROGRESS | EALREADY), _, _)
+            ->
+              (* Still connecting, or the kernel buffer is full; the bytes
+                 stay queued for the next poll. *)
+              ()
+          | exception Unix.Unix_error (_, _, _) -> tear_down stats co)
+
+  let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+  let make_listener addr =
+    (match addr with
+    | Unix.ADDR_UNIX path -> unlink_quietly path
+    | Unix.ADDR_INET _ -> ());
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (match addr with
+    | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Unix.ADDR_UNIX _ -> ());
+    Unix.bind fd addr;
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    fd
+
+  let accept_all node =
+    let rec go () =
+      match Unix.accept ~cloexec:true node.listen with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          node.ins <- { fd; dec = Frame.Decoder.create () } :: node.ins;
+          go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+
+  (* Read everything available on one inbound connection. Returns false
+     when the connection is finished (EOF or error) and should drop. *)
+  let read_conn stats node (ci : conn_in) f =
+    let rec go () =
+      match Unix.read ci.fd node.readbuf 0 (Bytes.length node.readbuf) with
+      | 0 ->
+          close_quietly ci.fd;
+          false
+      | k ->
+          Frame.Decoder.feed_sub ci.dec node.readbuf ~pos:0 ~len:k;
+          drain_decoder stats ci.dec f;
+          if k = Bytes.length node.readbuf then go () else true
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> true
+      | exception Unix.Unix_error (_, _, _) ->
+          close_quietly ci.fd;
+          false
+    in
+    go ()
+
+  let create ~clock:_ ~n ~owned ~addrs =
+    if Array.length addrs <> n then
+      invalid_arg "Transport.sockets: addrs array must have one entry per node";
+    List.iter (fun i -> check_node ~what:"owned" ~n i) owned;
+    let stats = make_stats () in
+    let hosted = Array.make n None in
+    List.iter
+      (fun i ->
+        hosted.(i) <-
+          Some
+            {
+              id = i;
+              listen = make_listener addrs.(i);
+              ins = [];
+              outs = Array.make n None;
+              readbuf = Bytes.create 65536;
+            })
+      owned;
+    let host ~what i =
+      match hosted.(i) with
+      | Some node -> node
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Transport.sockets: %s node %d is not hosted here"
+               what i)
+    in
+    let out_conn node dst =
+      match node.outs.(dst) with
+      | Some co -> co
+      | None ->
+          let co =
+            {
+              addr = addrs.(dst);
+              fd = None;
+              pending = "";
+              backoff = backoff_min;
+              retry_at = 0.0;
+            }
+          in
+          node.outs.(dst) <- Some co;
+          co
+    in
+    let send ~src ~dst ~delay:_ frame =
+      check_node ~what:"send dst" ~n dst;
+      let node = host ~what:"send src" src in
+      Atomic.incr stats.frames_sent;
+      ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
+      let co = out_conn node dst in
+      co.pending <- co.pending ^ frame;
+      flush stats co
+    in
+    let poll ~owner ~upto:_ f =
+      (* Socket arrival times are physical: any buffered byte arrived in
+         the past, so an [upto] bound can never exclude it. *)
+      let node = host ~what:"poll owner" owner in
+      accept_all node;
+      node.ins <- List.filter (fun ci -> read_conn stats node ci f) node.ins;
+      Array.iter
+        (function Some co -> flush stats co | None -> ())
+        node.outs
+    in
+    let next_due ~owner:_ = None in
+    let close () =
+      Array.iter
+        (function
+          | None -> ()
+          | Some node ->
+              close_quietly node.listen;
+              List.iter (fun (ci : conn_in) -> close_quietly ci.fd) node.ins;
+              Array.iter
+                (function
+                  | Some co -> (
+                      match co.fd with Some fd -> close_quietly fd | None -> ())
+                  | None -> ())
+                node.outs;
+              (match addrs.(node.id) with
+              | Unix.ADDR_UNIX path -> unlink_quietly path
+              | Unix.ADDR_INET _ -> ()))
+        hosted
+    in
+    let name =
+      if n > 0 then
+        match addrs.(0) with
+        | Unix.ADDR_UNIX _ -> "unix"
+        | Unix.ADDR_INET _ -> "tcp"
+      else "tcp"
+    in
+    { name; stats; poll_driven = true; send; poll; next_due; close }
+end
+
+let loopback ~clock ~n = Loopback.create ~clock ~n
+
+let sockets ~clock ~n ~owned ~addrs = Sockets.create ~clock ~n ~owned ~addrs
+
+let uds_addrs ~dir ~n =
+  Array.init n (fun i ->
+      Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i)))
+
+let tcp_addrs ?(host = "127.0.0.1") ~base_port ~n () =
+  let ip = Unix.inet_addr_of_string host in
+  Array.init n (fun i -> Unix.ADDR_INET (ip, base_port + i))

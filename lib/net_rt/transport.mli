@@ -1,0 +1,82 @@
+(** Byte transport between live nodes, with two backends.
+
+    A transport moves {e framed} byte strings (see {!Tr_wire.Frame}) from
+    a source node to a destination node and hands complete frame payloads
+    back to the destination's owning shard. It knows nothing about
+    protocol messages — codecs live a layer up.
+
+    {b Loopback} keeps the cluster in one process: each node has a
+    lock-free {!Mailbox} fed by any domain, and deliveries honour a
+    per-send [delay] (in clock units) through a min-heap, so the default
+    one-unit hop reproduces the simulator's network model in real time.
+
+    {b Sockets} runs over TCP or Unix-domain stream sockets, one
+    listener per hosted node. All I/O is non-blocking: partial reads
+    accumulate in an incremental frame decoder, partial writes stay in a
+    per-peer buffer, and a failed or refused connection backs off
+    exponentially (10 ms doubling to 1 s) before reconnecting. The wire
+    itself is the delay model — the [delay] argument is ignored. *)
+
+type stats = {
+  frames_sent : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  frames_received : int Atomic.t;
+  decode_errors : int Atomic.t;
+      (** Framing-level skips (resyncs) plus envelope decode failures
+          reported via {!count_decode_error}. *)
+  reconnects : int Atomic.t;
+      (** Times an outgoing connection was torn down and rescheduled. *)
+}
+
+type t
+
+val name : t -> string
+(** Backend name for report stamping: ["loopback"], ["tcp"] or ["unix"]. *)
+
+val stats : t -> stats
+
+val send : t -> src:int -> dst:int -> delay:float -> string -> unit
+(** Ship one complete frame. [delay] is in clock units (loopback only).
+    Never blocks; socket sends queue behind a reconnecting peer. *)
+
+val poll : t -> ?upto:float -> owner:int -> (string -> unit) -> unit
+(** Deliver every frame payload currently due for node [owner] to the
+    callback, in arrival order. [upto] caps the delivery horizon in
+    clock units (loopback only) so the caller can interleave timers and
+    deliveries in due-time order; socket arrivals are physical and
+    always due. Must only be called from the shard that owns the
+    node. *)
+
+val next_due : t -> owner:int -> float option
+(** Clock time (units) of the earliest queued delivery for [owner], if
+    the backend can know it (loopback); [None] on sockets. *)
+
+val poll_driven : t -> bool
+(** True when frames can only be discovered by polling (sockets), so the
+    shard loop must wake at a fixed cadence; false when [next_due] is
+    authoritative modulo the idle cap (loopback). *)
+
+val count_decode_error : t -> unit
+(** Record an envelope-level decode failure (bad codec key/version or
+    malformed message) against this transport's stats. *)
+
+val close : t -> unit
+
+val loopback : clock:Clock.t -> n:int -> t
+
+val sockets :
+  clock:Clock.t ->
+  n:int ->
+  owned:int list ->
+  addrs:Unix.sockaddr array ->
+  t
+(** Host the nodes in [owned] (listeners are bound immediately); sends
+    may target any node in [addrs]. [name] reports ["unix"] if the first
+    address is a Unix-domain path, ["tcp"] otherwise.
+    @raise Invalid_argument on bad [owned] ids or array size. *)
+
+val uds_addrs : dir:string -> n:int -> Unix.sockaddr array
+(** [dir/node-<i>.sock] for each node. *)
+
+val tcp_addrs : ?host:string -> base_port:int -> n:int -> unit -> Unix.sockaddr array
+(** Consecutive ports on [host] (default 127.0.0.1). *)

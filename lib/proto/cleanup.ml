@@ -285,7 +285,15 @@ module Inverse = struct
   let on_timer _ctx state ~key:_ = state
 end
 
-let protocol_rotation : (module Node_intf.PROTOCOL) =
+(* Typed handles are the codec-derivation hooks: the wire layer pairs
+   them with the [rotation_msg]/[inverse_msg] codecs. *)
+type rotation_state = Rotation.state
+type inverse_state = Inverse.state
+
+let protocol_rotation_t :
+    (module Node_intf.PROTOCOL
+       with type state = rotation_state
+        and type msg = rotation_msg) =
   (module struct
     include Rotation
 
@@ -293,10 +301,19 @@ let protocol_rotation : (module Node_intf.PROTOCOL) =
     type msg = rotation_msg
   end)
 
-let protocol_inverse : (module Node_intf.PROTOCOL) =
+let protocol_rotation : (module Node_intf.PROTOCOL) =
+  (module (val protocol_rotation_t))
+
+let protocol_inverse_t :
+    (module Node_intf.PROTOCOL
+       with type state = inverse_state
+        and type msg = inverse_msg) =
   (module struct
     include Inverse
 
     type nonrec state = Inverse.state
     type msg = inverse_msg
   end)
+
+let protocol_inverse : (module Node_intf.PROTOCOL) =
+  (module (val protocol_inverse_t))

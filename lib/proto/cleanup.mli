@@ -35,3 +35,18 @@ type inverse_msg =
 
 val protocol_rotation : (module Node_intf.PROTOCOL)
 val protocol_inverse : (module Node_intf.PROTOCOL)
+
+(** Typed handles (codec-derivation hooks) for the wire layer. *)
+
+type rotation_state
+type inverse_state
+
+val protocol_rotation_t :
+  (module Node_intf.PROTOCOL
+     with type state = rotation_state
+      and type msg = rotation_msg)
+
+val protocol_inverse_t :
+  (module Node_intf.PROTOCOL
+     with type state = inverse_state
+      and type msg = inverse_msg)

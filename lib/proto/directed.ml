@@ -49,8 +49,9 @@ let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp =
 let probe (ctx : msg Node_intf.ctx) position =
   ctx.send ~channel:Network.Cheap ~dst:position (Probe { requester = ctx.self })
 
-let protocol : (module Node_intf.PROTOCOL) =
-  (module struct
+(* Named (rather than inline) so [protocol_t] below can expose the typed
+   module the wire-codec layer pairs with its codec. *)
+module P = struct
     type nonrec state = state
     type nonrec msg = msg
 
@@ -135,4 +136,10 @@ let protocol : (module Node_intf.PROTOCOL) =
               end)
 
     let on_timer _ctx state ~key:_ = state
-  end)
+end
+
+let protocol_t :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module P)
+
+let protocol : (module Node_intf.PROTOCOL) = (module P)

@@ -39,8 +39,9 @@ let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp =
         (Token { stamp = stamp + 1 });
       { state with holding = Not_holding }
 
-let protocol : (module Node_intf.PROTOCOL) =
-  (module struct
+(* Named (rather than inline) so [protocol_t] below can expose the typed
+   module the wire-codec layer pairs with its codec. *)
+module P = struct
     type nonrec state = state
     type nonrec msg = msg
 
@@ -97,4 +98,10 @@ let protocol : (module Node_intf.PROTOCOL) =
           end
 
     let on_timer _ctx state ~key:_ = state
-  end)
+end
+
+let protocol_t :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module P)
+
+let protocol : (module Node_intf.PROTOCOL) = (module P)

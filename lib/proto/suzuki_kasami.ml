@@ -34,8 +34,9 @@ let outstanding (ctx : msg Node_intf.ctx) state token =
       && state.rn.(j) = token.ln.(j) + 1)
     (List.init ctx.n (fun j -> j))
 
-let protocol : (module Node_intf.PROTOCOL) =
-  (module struct
+(* Named (rather than inline) so [protocol_t] below can expose the typed
+   module the wire-codec layer pairs with its codec. *)
+module P = struct
     type nonrec state = state
     type nonrec msg = msg
 
@@ -102,4 +103,10 @@ let protocol : (module Node_intf.PROTOCOL) =
           dispatch ctx state { ln; queue }
 
     let on_timer _ctx state ~key:_ = state
-  end)
+end
+
+let protocol_t :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module P)
+
+let protocol : (module Node_intf.PROTOCOL) = (module P)

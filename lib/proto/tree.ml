@@ -30,8 +30,9 @@ let enqueue state dir =
   if List.mem dir state.queue then state
   else { state with queue = state.queue @ [ dir ] }
 
-let protocol : (module Node_intf.PROTOCOL) =
-  (module struct
+(* Named (rather than inline) so [protocol_t] below can expose the typed
+   module the wire-codec layer pairs with {!Tr_wire.Codecs.tree}. *)
+module P = struct
     type nonrec state = state
     type nonrec msg = msg
 
@@ -92,4 +93,10 @@ let protocol : (module Node_intf.PROTOCOL) =
           grant ctx state
 
     let on_timer _ctx state ~key:_ = state
-  end)
+end
+
+let protocol_t :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  (module P)
+
+let protocol : (module Node_intf.PROTOCOL) = (module P)

@@ -23,6 +23,12 @@ type state
 
 val protocol : (module Node_intf.PROTOCOL)
 
+val protocol_t :
+  (module Node_intf.PROTOCOL with type state = state and type msg = msg)
+(** Typed handle (codec-derivation hook): lets the wire layer pair the
+    protocol with its message codec without losing the [msg] equality. *)
+
+
 val holder_direction : state -> int option
 (** [None] if this node holds the token, [Some neighbour] otherwise. *)
 

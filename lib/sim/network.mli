@@ -34,7 +34,15 @@ val create :
 (** Defaults: both channels [Constant 1.0], no drops, no partitions.
     [partitioned src dst] — when it returns [true] the link silently drops
     every message (used by fault-injection tests).
-    @raise Invalid_argument if the drop probability is outside [0,1]. *)
+
+    Delay models are validated here, at configuration time: [Constant]
+    must be finite and non-negative, [Uniform (lo, hi)] needs
+    [0 <= lo <= hi] (both finite), [Exponential] needs a positive finite
+    mean. [Per_link] functions are wrapped so a non-positive or
+    non-finite sample raises a descriptive [Invalid_argument] naming the
+    offending link instead of being silently clamped.
+    @raise Invalid_argument if the drop probability is outside [0,1] or a
+    delay model is malformed. *)
 
 val default : t
 (** [create ()] — unit delay, fully reliable. *)

@@ -1,0 +1,57 @@
+type 'msg t = {
+  name : string;
+  key : int;
+  version : int;
+  encode_msg : Buffer.t -> 'msg -> unit;
+  decode_msg : Buf.Dec.t -> ('msg, Buf.error) result;
+}
+
+type 'msg envelope = {
+  src : int;
+  channel : Tr_sim.Network.channel;
+  msg : 'msg;
+}
+
+let channel_byte = function
+  | Tr_sim.Network.Reliable -> 0
+  | Tr_sim.Network.Cheap -> 1
+
+let channel_of_byte = function
+  | 0 -> Ok Tr_sim.Network.Reliable
+  | 1 -> Ok Tr_sim.Network.Cheap
+  | b -> Error (Buf.Malformed (Printf.sprintf "channel byte %#x" b))
+
+let encode_envelope codec ~src ~channel msg =
+  let payload = Buffer.create 32 in
+  Buf.Enc.uvarint payload codec.key;
+  Buf.Enc.byte payload codec.version;
+  Buf.Enc.uvarint payload src;
+  Buf.Enc.byte payload (channel_byte channel);
+  codec.encode_msg payload msg;
+  Frame.to_string (Buffer.contents payload)
+
+let decode_payload codec dec =
+  let open Buf.Dec in
+  let* key = uvarint dec in
+  if key <> codec.key then
+    Error
+      (Buf.Malformed
+         (Printf.sprintf "codec key %d, expected %d (%s)" key codec.key
+            codec.name))
+  else
+    let* v = byte dec in
+    if v <> codec.version then
+      Error
+        (Buf.Malformed
+           (Printf.sprintf "codec version %d, expected %d (%s)" v codec.version
+              codec.name))
+    else
+      let* src = uvarint dec in
+      let* cb = byte dec in
+      let* channel = channel_of_byte cb in
+      let* msg = codec.decode_msg dec in
+      let* () = expect_end dec in
+      Ok { src; channel; msg }
+
+let decode_envelope codec payload =
+  decode_payload codec (Buf.Dec.of_string payload)

@@ -1,0 +1,39 @@
+(** A wire codec for one protocol's message type.
+
+    Each protocol in [lib/proto/] gets a codec derived from its [msg]
+    variant (see {!Codecs}); the live runtime pairs the codec with the
+    protocol module and ships every [ctx.send] through it. Generation and
+    stamp counters travel as zigzag varints, so they are preserved
+    exactly — a live token carries the same integers a simulated one
+    does.
+
+    The envelope wraps a message with its routing metadata
+    ([src] node id and delivery channel) and the codec's [key], a stable
+    wire identifier that catches a node decoding frames from a cluster
+    running a different protocol. *)
+
+type 'msg t = {
+  name : string;  (** Protocol name, matching {!Tr_sim} registry usage. *)
+  key : int;  (** Stable wire id for cross-protocol mismatch detection. *)
+  version : int;  (** Bumped when the message encoding changes shape. *)
+  encode_msg : Buffer.t -> 'msg -> unit;
+  decode_msg : Buf.Dec.t -> ('msg, Buf.error) result;
+}
+
+type 'msg envelope = {
+  src : int;
+  channel : Tr_sim.Network.channel;
+  msg : 'msg;
+}
+
+val encode_envelope :
+  'msg t -> src:int -> channel:Tr_sim.Network.channel -> 'msg -> string
+(** A complete frame (header included) ready for a transport. *)
+
+val decode_envelope : 'msg t -> string -> ('msg envelope, Buf.error) result
+(** Decode one frame {e payload} (as produced by {!Frame.Decoder.next}).
+    Never raises; trailing bytes, wrong codec key or version, and
+    truncation all come back as [Error]. *)
+
+val decode_payload : 'msg t -> Buf.Dec.t -> ('msg envelope, Buf.error) result
+(** As {!decode_envelope}, over an existing cursor. *)

@@ -1,0 +1,44 @@
+(** Wire codecs for every protocol in [lib/proto/], plus the pairing of
+    each codec with its (typed) protocol module.
+
+    Encodings are derived mechanically from each protocol's [msg]
+    variant: a one-byte constructor tag followed by the fields in
+    declaration order (zigzag varints for ints, length-prefixed
+    sequences). Generation and stamp counters round-trip exactly.
+
+    [binsearch] and [binsearch-throttle] share one message type and hence
+    one codec; the two cleanup variants have distinct message types and
+    distinct codecs. *)
+
+open Tr_sim
+
+val ring : Tr_proto.Ring.msg Codec.t
+val tree : Tr_proto.Tree.msg Codec.t
+val suzuki_kasami : Tr_proto.Suzuki_kasami.msg Codec.t
+val seq_search : Tr_proto.Seq_search.msg Codec.t
+val binsearch : Tr_proto.Binsearch.msg Codec.t
+val directed : Tr_proto.Directed.msg Codec.t
+val cleanup_rotation : Tr_proto.Cleanup.rotation_msg Codec.t
+val cleanup_inverse : Tr_proto.Cleanup.inverse_msg Codec.t
+val adaptive : Tr_proto.Adaptive.msg Codec.t
+val pushpull : Tr_proto.Pushpull.msg Codec.t
+val failure : Tr_proto.Failure.msg Codec.t
+val failsafe_search : Tr_proto.Failsafe_search.msg Codec.t
+val membership : Tr_proto.Membership.msg Codec.t
+
+(** A protocol module packaged with its codec, the message type hidden
+    but shared between the two — everything the live runtime needs to
+    host a protocol. *)
+type packed =
+  | Packed :
+      (module Node_intf.PROTOCOL with type msg = 'm) * 'm Codec.t
+      -> packed
+
+val all : packed list
+(** One entry per registry protocol (14 of them). *)
+
+val find : string -> packed option
+(** Look up by registry protocol name (e.g. ["binsearch-throttle"]). *)
+
+val find_exn : string -> packed
+val names : string list

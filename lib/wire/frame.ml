@@ -1,0 +1,124 @@
+let magic = 0xA7
+let version = 1
+let max_payload = 1 lsl 24
+
+let encode buf payload =
+  if String.length payload > max_payload then
+    invalid_arg "Wire.Frame.encode: payload too large";
+  Buffer.add_char buf (Char.chr magic);
+  Buffer.add_char buf (Char.chr version);
+  Buf.Enc.uvarint buf (String.length payload);
+  Buffer.add_string buf payload
+
+let to_string payload =
+  let buf = Buffer.create (String.length payload + 4) in
+  encode buf payload;
+  Buffer.contents buf
+
+module Decoder = struct
+  type progress = Frame of string | Await | Skip of string
+
+  (* Unconsumed input lives in [buf.[start .. start+len-1]]; [feed]
+     appends, [next] consumes from the front and compacts lazily. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;
+    mutable len : int;
+    mutable skips : int;
+  }
+
+  let create () = { buf = Bytes.create 256; start = 0; len = 0; skips = 0 }
+  let skipped_events t = t.skips
+  let buffered t = t.len
+
+  let reserve t extra =
+    let needed = t.len + extra in
+    if t.start > 0 && (t.start + needed > Bytes.length t.buf || t.start > 4096)
+    then begin
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end;
+    if needed > Bytes.length t.buf then begin
+      let cap = ref (2 * Bytes.length t.buf) in
+      while needed > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf t.start bigger 0 t.len;
+      t.buf <- bigger;
+      t.start <- 0
+    end
+
+  let feed_sub t chunk ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length chunk then
+      invalid_arg "Wire.Frame.Decoder.feed_sub: bad bounds";
+    reserve t len;
+    Bytes.blit chunk pos t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let feed t chunk =
+    feed_sub t (Bytes.unsafe_of_string chunk) ~pos:0 ~len:(String.length chunk)
+
+  let peek t i = Char.code (Bytes.get t.buf (t.start + i))
+
+  let consume t k =
+    t.start <- t.start + k;
+    t.len <- t.len - k;
+    if t.len = 0 then t.start <- 0
+
+  (* Read a uvarint at offset [off]; [Ok (value, bytes_used)], [Error
+     `Await] when the buffered input ends mid-varint, [Error `Malformed]
+     on an overlong encoding. *)
+  let read_uvarint t off =
+    let rec go acc shift used =
+      if used > 9 then Error `Malformed
+      else if off + used >= t.len then Error `Await
+      else
+        let b = peek t (off + used) in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Ok (acc, used + 1)
+        else go acc (shift + 7) (used + 1)
+    in
+    go 0 0 0
+
+  (* Drop the bogus leading byte and scan to the next candidate magic so
+     the stream re-locks at the following frame boundary. *)
+  let resync t reason =
+    consume t 1;
+    let skipped = ref 1 in
+    while t.len > 0 && peek t 0 <> magic do
+      consume t 1;
+      incr skipped
+    done;
+    t.skips <- t.skips + 1;
+    Skip (Printf.sprintf "%s; skipped %d bytes" reason !skipped)
+
+  let next t =
+    if t.len = 0 then Await
+    else if peek t 0 <> magic then resync t "bad magic"
+    else if t.len < 2 then Await
+    else
+      let v = peek t 1 in
+      match read_uvarint t 2 with
+      | Error `Await -> Await
+      | Error `Malformed -> resync t "malformed length varint"
+      | Ok (plen, used) ->
+          (* A sign-overflowed varint decodes negative — treat it like
+             any oversized declaration, never as an offset. *)
+          if plen < 0 || plen > max_payload then
+            resync t (Printf.sprintf "declared payload %d exceeds cap" plen)
+          else begin
+            let total = 2 + used + plen in
+            if t.len < total then Await
+            else if v <> version then begin
+              consume t total;
+              t.skips <- t.skips + 1;
+              Skip (Printf.sprintf "unsupported frame version %d" v)
+            end
+            else begin
+              let payload = Bytes.sub_string t.buf (t.start + 2 + used) plen in
+              consume t total;
+              Frame payload
+            end
+          end
+end

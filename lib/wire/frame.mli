@@ -1,0 +1,52 @@
+(** Versioned, length-prefixed framing for a byte stream.
+
+    A frame is [magic (1 byte) | version (1 byte) | length (uvarint) |
+    payload (length bytes)]. The magic byte lets a receiver that lands
+    mid-stream (or behind corrupted bytes) resynchronise: on any framing
+    error the decoder drops bytes up to the next candidate magic byte and
+    reports a [`Skip] instead of raising, so one bad frame never poisons
+    the connection.
+
+    The decoder is incremental — [feed] it whatever chunk the socket
+    produced (partial frames included) and pull complete payloads with
+    [next]. *)
+
+val magic : int
+(** First byte of every frame, [0xA7]. *)
+
+val version : int
+(** Wire format version emitted by {!encode}. Frames carrying an
+    unknown version are skipped whole (their length prefix is still
+    trusted, which is the point of putting it outside the payload). *)
+
+val max_payload : int
+(** Upper bound on payload length accepted by the decoder; a longer
+    declared length is treated as corruption, not an allocation request. *)
+
+val encode : Buffer.t -> string -> unit
+(** Append one frame carrying the given payload. *)
+
+val to_string : string -> string
+(** [to_string payload] is a single encoded frame. *)
+
+module Decoder : sig
+  type t
+
+  type progress =
+    | Frame of string  (** One complete payload, in arrival order. *)
+    | Await  (** Need more input; feed another chunk. *)
+    | Skip of string
+        (** Bytes were discarded (desync, oversized or unknown-version
+            frame); the reason is diagnostic. Decoding continues. *)
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+  val feed_sub : t -> Bytes.t -> pos:int -> len:int -> unit
+  val next : t -> progress
+
+  val skipped_events : t -> int
+  (** Number of [Skip] results produced so far (decode-error counter). *)
+
+  val buffered : t -> int
+  (** Bytes held waiting for a complete frame. *)
+end

@@ -1,0 +1,439 @@
+(* Wire-layer tests: envelope round-trips for every protocol codec
+   (qcheck), streaming-decoder chunking, and fuzz over truncated and
+   garbage inputs — decoding must return [Error]/[Skip], never raise. *)
+
+open Tr_sim
+module Buf = Tr_wire.Buf
+module Frame = Tr_wire.Frame
+module Codec = Tr_wire.Codec
+module Codecs = Tr_wire.Codecs
+
+(* ---------------- generators ---------------- *)
+
+let any_int =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.int_range (-1000) 1000;
+      QCheck.Gen.oneofl
+        [ min_int; min_int + 1; max_int; max_int - 1; 0; -1; 1 ];
+      QCheck.Gen.map2
+        (fun h l -> (h lsl 32) lxor l)
+        (QCheck.Gen.int_range (-0x40000000) 0x3FFFFFFF)
+        (QCheck.Gen.int_range 0 0xFFFFFFFF);
+    ]
+
+let small_nat = QCheck.Gen.int_range 0 512
+let channel_gen = QCheck.Gen.oneofl [ Network.Reliable; Network.Cheap ]
+
+let ring_gen =
+  QCheck.Gen.map (fun stamp -> Tr_proto.Ring.Token { stamp }) any_int
+
+let tree_gen = QCheck.Gen.oneofl [ Tr_proto.Tree.Token; Tr_proto.Tree.Request ]
+
+let suzuki_gen =
+  let open Tr_proto.Suzuki_kasami in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map2
+        (fun requester seq -> Request { requester; seq })
+        small_nat any_int;
+      QCheck.Gen.map2
+        (fun ln queue -> Token { ln = Array.of_list ln; queue })
+        (QCheck.Gen.list_size (QCheck.Gen.int_range 0 40) any_int)
+        (QCheck.Gen.list_size (QCheck.Gen.int_range 0 40) small_nat);
+    ]
+
+let seq_search_gen =
+  let open Tr_proto.Seq_search in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun stamp -> Token { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Loan { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Return { stamp }) any_int;
+      QCheck.Gen.map2
+        (fun requester ttl -> Gimme { requester; ttl })
+        small_nat any_int;
+    ]
+
+let binsearch_gen =
+  let open Tr_proto.Binsearch in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun stamp -> Token { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Loan { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Return { stamp }) any_int;
+      QCheck.Gen.map3
+        (fun requester span stamp -> Gimme { requester; span; stamp })
+        small_nat small_nat any_int;
+    ]
+
+let directed_gen =
+  let open Tr_proto.Directed in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun stamp -> Token { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Loan { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Return { stamp }) any_int;
+      QCheck.Gen.map (fun requester -> Probe { requester }) small_nat;
+      QCheck.Gen.map (fun stamp -> Reply { stamp }) any_int;
+    ]
+
+let rotation_gen =
+  let open Tr_proto.Cleanup in
+  let satisfied = QCheck.Gen.list_size (QCheck.Gen.int_range 0 32) any_int in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map2
+        (fun stamp s -> RToken { stamp; satisfied = Array.of_list s })
+        any_int satisfied;
+      QCheck.Gen.map2
+        (fun stamp s -> RLoan { stamp; satisfied = Array.of_list s })
+        any_int satisfied;
+      QCheck.Gen.map2
+        (fun stamp s -> RReturn { stamp; satisfied = Array.of_list s })
+        any_int satisfied;
+      QCheck.Gen.map3
+        (fun requester (seq, span) stamp ->
+          RGimme { requester; seq; span; stamp })
+        small_nat
+        (QCheck.Gen.pair any_int small_nat)
+        any_int;
+    ]
+
+let inverse_gen =
+  let open Tr_proto.Cleanup in
+  let trail = QCheck.Gen.list_size (QCheck.Gen.int_range 0 32) small_nat in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun stamp -> IToken { stamp }) any_int;
+      QCheck.Gen.map3
+        (fun stamp requester trail -> ILoanVia { stamp; requester; trail })
+        any_int small_nat trail;
+      QCheck.Gen.map (fun stamp -> IReturn { stamp }) any_int;
+      QCheck.Gen.map3
+        (fun (requester, span) stamp trail ->
+          IGimme { requester; span; stamp; trail })
+        (QCheck.Gen.pair small_nat small_nat)
+        any_int trail;
+    ]
+
+let adaptive_gen =
+  let open Tr_proto.Adaptive in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map2
+        (fun stamp idle_hops -> Token { stamp; idle_hops })
+        any_int small_nat;
+      QCheck.Gen.map (fun stamp -> Loan { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Return { stamp }) any_int;
+      QCheck.Gen.map3
+        (fun requester span stamp -> Gimme { requester; span; stamp })
+        small_nat small_nat any_int;
+    ]
+
+let pushpull_gen =
+  let open Tr_proto.Pushpull in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun stamp -> Token { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Loan { stamp }) any_int;
+      QCheck.Gen.map (fun stamp -> Return { stamp }) any_int;
+      QCheck.Gen.map3
+        (fun requester span stamp -> Gimme { requester; span; stamp })
+        small_nat small_nat any_int;
+      QCheck.Gen.map2 (fun holder ttl -> Probe { holder; ttl }) small_nat
+        small_nat;
+      QCheck.Gen.map (fun requester -> Want { requester }) small_nat;
+    ]
+
+let failure_gen =
+  let open Tr_proto.Failure in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map2 (fun gen stamp -> Token { gen; stamp }) any_int any_int;
+      QCheck.Gen.map2 (fun gen stamp -> Ack { gen; stamp }) any_int any_int;
+      QCheck.Gen.map (fun initiator -> WhoHas { initiator }) small_nat;
+      QCheck.Gen.map2 (fun gen stamp -> Status { gen; stamp }) any_int any_int;
+      QCheck.Gen.map (fun gen -> Regenerate { gen }) any_int;
+    ]
+
+let failsafe_gen =
+  let open Tr_proto.Failsafe_search in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map2 (fun gen stamp -> Token { gen; stamp }) any_int any_int;
+      QCheck.Gen.map2 (fun gen stamp -> Ack { gen; stamp }) any_int any_int;
+      QCheck.Gen.map2 (fun gen stamp -> Loan { gen; stamp }) any_int any_int;
+      QCheck.Gen.map2 (fun gen stamp -> Return { gen; stamp }) any_int any_int;
+      QCheck.Gen.map3
+        (fun requester span stamp -> Gimme { requester; span; stamp })
+        small_nat small_nat any_int;
+      QCheck.Gen.map (fun initiator -> WhoHas { initiator }) small_nat;
+      QCheck.Gen.map2 (fun gen stamp -> Status { gen; stamp }) any_int any_int;
+      QCheck.Gen.map (fun gen -> Regenerate { gen }) any_int;
+    ]
+
+let membership_gen =
+  let open Tr_proto.Membership in
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map3
+        (fun stamp pred bypass -> Token { stamp; pred; bypass })
+        any_int small_nat
+        (QCheck.Gen.opt small_nat);
+      QCheck.Gen.map (fun joiner -> JoinReq { joiner }) small_nat;
+      QCheck.Gen.map (fun succ -> Welcome { succ }) small_nat;
+      QCheck.Gen.map2
+        (fun leaver new_succ -> Relink { leaver; new_succ })
+        small_nat small_nat;
+    ]
+
+(* ---------------- round-trip property ---------------- *)
+
+(* Encode a full envelope frame, push it through the streaming decoder
+   in random-sized chunks, decode the payload, compare structurally. *)
+let roundtrip_test (type m) name (codec : m Codec.t) (msg_gen : m QCheck.Gen.t)
+    =
+  let case_gen =
+    QCheck.Gen.quad (QCheck.Gen.int_range 0 10_000) channel_gen msg_gen
+      (QCheck.Gen.int_range 1 64)
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: envelope round-trips" name)
+    ~count:300 (QCheck.make case_gen)
+    (fun (src, channel, msg, chunk) ->
+      let frame = Codec.encode_envelope codec ~src ~channel msg in
+      let dec = Frame.Decoder.create () in
+      let len = String.length frame in
+      let pos = ref 0 in
+      let result = ref None in
+      while !pos < len do
+        let k = Stdlib.min chunk (len - !pos) in
+        Frame.Decoder.feed dec (String.sub frame !pos k);
+        pos := !pos + k;
+        match Frame.Decoder.next dec with
+        | Frame.Decoder.Frame payload -> result := Some payload
+        | Frame.Decoder.Await | Frame.Decoder.Skip _ -> ()
+      done;
+      match !result with
+      | None -> false
+      | Some payload -> (
+          match Codec.decode_envelope codec payload with
+          | Ok e -> e.Codec.src = src && e.Codec.channel = channel && e.Codec.msg = msg
+          | Error _ -> false))
+
+let roundtrip_tests =
+  [
+    roundtrip_test "ring" Codecs.ring ring_gen;
+    roundtrip_test "tree" Codecs.tree tree_gen;
+    roundtrip_test "suzuki-kasami" Codecs.suzuki_kasami suzuki_gen;
+    roundtrip_test "seq-search" Codecs.seq_search seq_search_gen;
+    roundtrip_test "binsearch" Codecs.binsearch binsearch_gen;
+    roundtrip_test "directed" Codecs.directed directed_gen;
+    roundtrip_test "binsearch-gc-rotation" Codecs.cleanup_rotation rotation_gen;
+    roundtrip_test "binsearch-gc-inverse" Codecs.cleanup_inverse inverse_gen;
+    roundtrip_test "adaptive" Codecs.adaptive adaptive_gen;
+    roundtrip_test "pushpull" Codecs.pushpull pushpull_gen;
+    roundtrip_test "failure" Codecs.failure failure_gen;
+    roundtrip_test "failsafe-search" Codecs.failsafe_search failsafe_gen;
+    roundtrip_test "membership" Codecs.membership membership_gen;
+  ]
+
+(* ---------------- fuzz: decoding never raises ---------------- *)
+
+let drain_all dec =
+  let frames = ref 0 and skips = ref 0 in
+  let rec go () =
+    match Frame.Decoder.next dec with
+    | Frame.Decoder.Frame _ ->
+        incr frames;
+        go ()
+    | Frame.Decoder.Skip _ ->
+        incr skips;
+        go ()
+    | Frame.Decoder.Await -> ()
+  in
+  go ();
+  (!frames, !skips)
+
+let prop_truncated_never_raises =
+  QCheck.Test.make ~name:"truncated frames never raise" ~count:500
+    (QCheck.make
+       (QCheck.Gen.pair (QCheck.Gen.int_range 0 10_000) any_int))
+    (fun (src, stamp) ->
+      let frame =
+        Codec.encode_envelope Codecs.ring ~src ~channel:Network.Reliable
+          (Tr_proto.Ring.Token { stamp })
+      in
+      (* Every strict prefix must decode to Await (or a clean skip) and
+         an envelope decode of a truncated payload must return Error. *)
+      let ok = ref true in
+      for cut = 0 to String.length frame - 1 do
+        let dec = Frame.Decoder.create () in
+        Frame.Decoder.feed dec (String.sub frame 0 cut);
+        let frames, _ = drain_all dec in
+        if frames <> 0 then ok := false
+      done;
+      (match
+         Codec.decode_envelope Codecs.ring
+           (String.sub frame 0 (Stdlib.max 0 (String.length frame - 3)))
+       with
+      | Ok _ -> ok := false
+      | Error _ -> ());
+      !ok)
+
+let prop_garbage_never_raises =
+  QCheck.Test.make ~name:"garbage bytes never raise" ~count:500
+    (QCheck.make
+       (QCheck.Gen.string_size ~gen:QCheck.Gen.char
+          (QCheck.Gen.int_range 0 200)))
+    (fun junk ->
+      let dec = Frame.Decoder.create () in
+      Frame.Decoder.feed dec junk;
+      let _ = drain_all dec in
+      (* Envelope decode over raw junk must be a clean [Error]. *)
+      (match Codec.decode_envelope Codecs.binsearch junk with
+      | Ok _ -> true (* vanishingly unlikely, but not a failure mode *)
+      | Error _ -> true))
+
+let prop_resync_recovers =
+  QCheck.Test.make ~name:"decoder resyncs after garbage between frames"
+    ~count:300
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.string_size ~gen:QCheck.Gen.char
+             (QCheck.Gen.int_range 1 50))
+          (QCheck.Gen.pair any_int any_int)))
+    (fun (junk, (s1, s2)) ->
+      let f1 =
+        Codec.encode_envelope Codecs.ring ~src:1 ~channel:Network.Reliable
+          (Tr_proto.Ring.Token { stamp = s1 })
+      in
+      let f2 =
+        Codec.encode_envelope Codecs.ring ~src:2 ~channel:Network.Reliable
+          (Tr_proto.Ring.Token { stamp = s2 })
+      in
+      let dec = Frame.Decoder.create () in
+      Frame.Decoder.feed dec (f1 ^ junk ^ f2);
+      let payloads = ref [] in
+      let rec go () =
+        match Frame.Decoder.next dec with
+        | Frame.Decoder.Frame p ->
+            payloads := p :: !payloads;
+            go ()
+        | Frame.Decoder.Skip _ -> go ()
+        | Frame.Decoder.Await -> ()
+      in
+      go ();
+      let decoded =
+        List.rev_map
+          (fun p ->
+            match Codec.decode_envelope Codecs.ring p with
+            | Ok e -> Some e.Codec.msg
+            | Error _ -> None)
+          !payloads
+      in
+      (* The first frame always survives; the second must be recovered
+         whenever the junk didn't happen to parse as a frame that
+         swallowed it. Either way nothing raises and the first decoded
+         payload is intact. *)
+      match decoded with
+      | Some (Tr_proto.Ring.Token { stamp }) :: _ -> stamp = s1
+      | _ -> false)
+
+(* ---------------- directed cases ---------------- *)
+
+let test_wrong_codec_key () =
+  let frame =
+    Codec.encode_envelope Codecs.ring ~src:0 ~channel:Network.Reliable
+      (Tr_proto.Ring.Token { stamp = 7 })
+  in
+  let dec = Frame.Decoder.create () in
+  Frame.Decoder.feed dec frame;
+  match Frame.Decoder.next dec with
+  | Frame.Decoder.Frame payload -> (
+      match Codec.decode_envelope Codecs.tree payload with
+      | Ok _ -> Alcotest.fail "tree codec accepted a ring frame"
+      | Error _ -> ())
+  | _ -> Alcotest.fail "expected a complete frame"
+
+let test_trailing_bytes_rejected () =
+  let open Tr_proto.Ring in
+  let b = Buffer.create 32 in
+  Codecs.ring.Codec.encode_msg b (Token { stamp = 3 });
+  (* Build an envelope payload by hand with junk appended. *)
+  let payload = Buffer.create 32 in
+  Tr_wire.Buf.Enc.uvarint payload Codecs.ring.Codec.key;
+  Tr_wire.Buf.Enc.byte payload Codecs.ring.Codec.version;
+  Tr_wire.Buf.Enc.uvarint payload 0;
+  Tr_wire.Buf.Enc.byte payload 0;
+  Buffer.add_buffer payload b;
+  Buffer.add_string payload "junk";
+  match Codec.decode_envelope Codecs.ring (Buffer.contents payload) with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error _ -> ()
+
+let test_oversized_length_is_skip () =
+  (* magic, version, then a length far beyond max_payload. *)
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr Frame.magic);
+  Buffer.add_char b (Char.chr Frame.version);
+  Tr_wire.Buf.Enc.uvarint b (Frame.max_payload + 1);
+  Buffer.add_string b "xxxx";
+  let dec = Frame.Decoder.create () in
+  Frame.Decoder.feed dec (Buffer.contents b);
+  let _frames, skips = drain_all dec in
+  Alcotest.(check bool) "skipped" true (skips > 0);
+  Alcotest.(check bool)
+    "skip counter advanced" true
+    (Frame.Decoder.skipped_events dec > 0)
+
+let test_registry_complete () =
+  Alcotest.(check int) "14 packed protocols" 14 (List.length Codecs.all);
+  List.iter
+    (fun name ->
+      match Codecs.find name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "registry missing %s" name)
+    [
+      "ring"; "tree"; "suzuki-kasami"; "seq-search"; "binsearch";
+      "binsearch-throttle"; "directed"; "binsearch-gc-rotation";
+      "binsearch-gc-inverse"; "adaptive"; "pushpull"; "ring-failsafe";
+      "binsearch-failsafe"; "ring-membership";
+    ]
+
+let test_zigzag_extremes () =
+  List.iter
+    (fun v ->
+      let b = Buffer.create 16 in
+      Buf.Enc.int b v;
+      let d = Buf.Dec.of_string (Buffer.contents b) in
+      match Buf.Dec.int d with
+      | Ok got -> Alcotest.(check int) (string_of_int v) v got
+      | Error _ -> Alcotest.failf "decode failed for %d" v)
+    [ 0; 1; -1; 63; -64; max_int; min_int; min_int + 1; max_int - 1 ]
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "wire"
+    [
+      ("roundtrip", qsuite roundtrip_tests);
+      ( "fuzz",
+        qsuite
+          [
+            prop_truncated_never_raises;
+            prop_garbage_never_raises;
+            prop_resync_recovers;
+          ] );
+      ( "framing",
+        [
+          Alcotest.test_case "wrong codec key" `Quick test_wrong_codec_key;
+          Alcotest.test_case "trailing bytes" `Quick
+            test_trailing_bytes_rejected;
+          Alcotest.test_case "oversized length" `Quick
+            test_oversized_length_is_skip;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "zigzag extremes" `Quick test_zigzag_extremes;
+        ] );
+    ]
