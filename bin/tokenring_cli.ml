@@ -407,18 +407,21 @@ let die fmt = Format.kasprintf (fun msg -> Format.eprintf "error: %s@." msg; exi
 
 (* "0-3,7" -> [0;1;2;3;7] *)
 let parse_id_ranges spec =
+  let id s =
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> die "bad node id %S in %S (expected e.g. \"0-3,7\")" s spec
+  in
   spec
   |> String.split_on_char ','
   |> List.filter (fun s -> s <> "")
   |> List.concat_map (fun part ->
          match String.index_opt part '-' with
-         | None -> [ int_of_string (String.trim part) ]
+         | None -> [ id part ]
          | Some i ->
-             let lo = int_of_string (String.trim (String.sub part 0 i)) in
-             let hi =
-               int_of_string
-                 (String.trim (String.sub part (i + 1) (String.length part - i - 1)))
-             in
+             let lo = id (String.sub part 0 i) in
+             let hi = id (String.sub part (i + 1) (String.length part - i - 1)) in
+             if lo > hi then die "inverted range %S in %S" part spec;
              List.init (hi - lo + 1) (fun k -> lo + k))
 
 let unit_arg =

@@ -56,6 +56,7 @@ type report = {
   frames_received : int;
   decode_errors : int;
   reconnects : int;
+  frames_dropped : int;
   metrics : Metrics.t;
 }
 
@@ -388,6 +389,7 @@ let run (type m) ?tap ?(backend = Loopback) config
     frames_received = Atomic.get s.frames_received;
     decode_errors = Atomic.get s.decode_errors;
     reconnects = Atomic.get s.reconnects;
+    frames_dropped = Atomic.get s.frames_dropped;
     metrics;
   }
 

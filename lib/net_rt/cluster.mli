@@ -69,6 +69,7 @@ type report = {
   frames_received : int;
   decode_errors : int;
   reconnects : int;
+  frames_dropped : int;
   metrics : Tr_sim.Metrics.t;
 }
 

@@ -76,6 +76,7 @@ let json_of_report (r : Cluster.report) =
       ("frames_received", string_of_int r.frames_received);
       ("decode_errors", string_of_int r.decode_errors);
       ("reconnects", string_of_int r.reconnects);
+      ("frames_dropped", string_of_int r.frames_dropped);
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));
       ( "responsiveness_quantiles",

@@ -6,6 +6,7 @@ type stats = {
   frames_received : int Atomic.t;
   decode_errors : int Atomic.t;
   reconnects : int Atomic.t;
+  frames_dropped : int Atomic.t;
 }
 
 let make_stats () =
@@ -15,6 +16,7 @@ let make_stats () =
     frames_received = Atomic.make 0;
     decode_errors = Atomic.make 0;
     reconnects = Atomic.make 0;
+    frames_dropped = Atomic.make 0;
   }
 
 type t = {
@@ -136,12 +138,28 @@ module Sockets = struct
   let backoff_min = 0.01
   let backoff_max = 1.0
 
+  (* Cap on bytes queued behind an unreachable peer. Past this, new
+     frames are dropped whole (never split — that would corrupt the
+     framing) and counted in [frames_dropped]. *)
+  let high_water = 4 * 1024 * 1024
+
+  (* [Unix.write_substring] cannot pass MSG_NOSIGNAL, so a write to a
+     peer that closed its end raises SIGPIPE and the default handler
+     kills the whole process before [tear_down] can run. Ignore it once,
+     process-wide, so the failure surfaces as EPIPE instead. *)
+  let ignore_sigpipe =
+    lazy
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
   type conn_in = { fd : Unix.file_descr; dec : Frame.Decoder.t }
 
   type conn_out = {
     addr : Unix.sockaddr;
     mutable fd : Unix.file_descr option;
-    mutable pending : string;  (** Bytes accepted but not yet written. *)
+    queue : string Queue.t;  (** Frames accepted but not yet written. *)
+    mutable head_off : int;  (** Bytes of the head frame already written. *)
+    mutable queued_bytes : int;  (** Unwritten bytes across the queue. *)
     mutable backoff : float;
     mutable retry_at : float;  (** Wall time before which we won't dial. *)
   }
@@ -177,17 +195,22 @@ module Sockets = struct
         tear_down stats co
 
   let rec flush stats co =
-    if String.length co.pending > 0 then
+    if co.queued_bytes > 0 then
       match co.fd with
       | None -> if Unix.gettimeofday () >= co.retry_at then (dial stats co; flush stats co)
       | Some fd -> (
-          match
-            Unix.write_substring fd co.pending 0 (String.length co.pending)
-          with
+          let head = Queue.peek co.queue in
+          let len = String.length head - co.head_off in
+          match Unix.write_substring fd head co.head_off len with
           | wrote ->
               co.backoff <- backoff_min;
-              co.pending <-
-                String.sub co.pending wrote (String.length co.pending - wrote)
+              co.queued_bytes <- co.queued_bytes - wrote;
+              if wrote = len then begin
+                ignore (Queue.pop co.queue);
+                co.head_off <- 0;
+                flush stats co
+              end
+              else co.head_off <- co.head_off + wrote
           | exception
               Unix.Unix_error
                 ((EAGAIN | EWOULDBLOCK | EINTR | ENOTCONN | EINPROGRESS | EALREADY), _, _)
@@ -243,6 +266,7 @@ module Sockets = struct
     go ()
 
   let create ~clock:_ ~n ~owned ~addrs =
+    Lazy.force ignore_sigpipe;
     if Array.length addrs <> n then
       invalid_arg "Transport.sockets: addrs array must have one entry per node";
     List.iter (fun i -> check_node ~what:"owned" ~n i) owned;
@@ -276,7 +300,9 @@ module Sockets = struct
             {
               addr = addrs.(dst);
               fd = None;
-              pending = "";
+              queue = Queue.create ();
+              head_off = 0;
+              queued_bytes = 0;
               backoff = backoff_min;
               retry_at = 0.0;
             }
@@ -287,11 +313,16 @@ module Sockets = struct
     let send ~src ~dst ~delay:_ frame =
       check_node ~what:"send dst" ~n dst;
       let node = host ~what:"send src" src in
-      Atomic.incr stats.frames_sent;
-      ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
       let co = out_conn node dst in
-      co.pending <- co.pending ^ frame;
-      flush stats co
+      if co.queued_bytes + String.length frame > high_water then
+        Atomic.incr stats.frames_dropped
+      else begin
+        Atomic.incr stats.frames_sent;
+        ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
+        Queue.add frame co.queue;
+        co.queued_bytes <- co.queued_bytes + String.length frame;
+        flush stats co
+      end
     in
     let poll ~owner ~upto:_ f =
       (* Socket arrival times are physical: any buffered byte arrived in

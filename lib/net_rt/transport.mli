@@ -13,9 +13,13 @@
     {b Sockets} runs over TCP or Unix-domain stream sockets, one
     listener per hosted node. All I/O is non-blocking: partial reads
     accumulate in an incremental frame decoder, partial writes stay in a
-    per-peer buffer, and a failed or refused connection backs off
+    bounded per-peer queue (frames past the high-water mark are dropped
+    whole and counted), and a failed or refused connection backs off
     exponentially (10 ms doubling to 1 s) before reconnecting. The wire
-    itself is the delay model — the [delay] argument is ignored. *)
+    itself is the delay model — the [delay] argument is ignored.
+    Creating a sockets transport installs a process-wide SIGPIPE ignore
+    so a disconnected peer surfaces as [EPIPE] (handled by the reconnect
+    path) instead of killing the process. *)
 
 type stats = {
   frames_sent : int Atomic.t;
@@ -26,6 +30,10 @@ type stats = {
           reported via {!count_decode_error}. *)
   reconnects : int Atomic.t;
       (** Times an outgoing connection was torn down and rescheduled. *)
+  frames_dropped : int Atomic.t;
+      (** Sends refused because the per-peer outgoing queue was over its
+          high-water mark (sockets only; an unreachable peer cannot queue
+          unbounded memory). *)
 }
 
 type t

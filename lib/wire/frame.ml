@@ -68,10 +68,13 @@ module Decoder = struct
 
   (* Read a uvarint at offset [off]; [Ok (value, bytes_used)], [Error
      `Await] when the buffered input ends mid-varint, [Error `Malformed]
-     on an overlong encoding. *)
+     on an overlong encoding. Mirrors [Buf.Dec.uvarint]: 63-bit ints
+     need at most 9 LEB128 groups (shift cap 56); a 10th byte would
+     shift by 63, which is unspecified for OCaml ints, so reject before
+     reading it. *)
   let read_uvarint t off =
     let rec go acc shift used =
-      if used > 9 then Error `Malformed
+      if used >= 9 then Error `Malformed
       else if off + used >= t.len then Error `Await
       else
         let b = peek t (off + used) in
