@@ -1,0 +1,355 @@
+(* Live-I/O throughput benchmark -> BENCH_net.json.
+
+   Three angles on the wire path, mirroring BENCH_sim.json's policy
+   (wall-clock best of 3, committed baseline measured at the pre-refactor
+   commit on the same host):
+
+   - loopback_frames: encode->send->poll->decode pipeline through the
+     in-process loopback transport, zero delay, batched pump. Measures
+     the allocation discipline of the codec/frame layers plus the
+     mailbox/heap hop.
+
+   - uds_frames: the same pump over a real Unix-domain stream socket
+     pair hosted in one process. Measures syscall batching: the
+     pre-refactor path paid one write(2) per frame; the batched path
+     coalesces a whole pump iteration into one write.
+
+   - grants_per_s: end-to-end live loopback clusters (closed-loop
+     binsearch/ring) at small unit scale — the protocol-visible number
+     the wire path ultimately serves.
+
+   Allocation rates come from Gc.quick_stat deltas around the timed
+   section (minor+major words per frame). *)
+
+module Clock = Tr_net_rt.Clock
+module Transport = Tr_net_rt.Transport
+module Cluster = Tr_net_rt.Cluster
+module Codec = Tr_wire.Codec
+module Codecs = Tr_wire.Codecs
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let best_of reps f =
+  let rec go best left =
+    if left = 0 then best
+    else begin
+      let t0 = Unix.gettimeofday () in
+      f ();
+      go (Stdlib.min best (Unix.gettimeofday () -. t0)) (left - 1)
+    end
+  in
+  go infinity reps
+
+(* Words allocated by [f ()] (minor + major), and its result. *)
+let alloc_words f =
+  let s0 = Gc.quick_stat () in
+  let r = f () in
+  let s1 = Gc.quick_stat () in
+  let words =
+    s1.Gc.minor_words -. s0.Gc.minor_words
+    +. (s1.Gc.major_words -. s0.Gc.major_words)
+  in
+  (r, words)
+
+(* ------------------------------------------------------------------ *)
+(* Frame pumps                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One pump iteration sends [batch] envelope frames 0 -> 1 and drains
+   the receiver; [total] frames flow end to end. The message is a ring
+   token — the smallest real protocol payload, so the numbers bound the
+   per-frame overhead rather than payload memcpy. *)
+let batch = 64
+
+let pump_loopback ~total () =
+  let clock = Clock.create ~unit_s:1e-3 () in
+  let t = Transport.loopback ~clock ~n:2 in
+  let scratch = Codec.scratch () in
+  let received = ref 0 in
+  let sent = ref 0 in
+  let on_frame view =
+    match Codec.decode_view Codecs.ring view with
+    | Ok _ -> incr received
+    | Error _ -> failwith "net_bench: loopback decode error"
+  in
+  while !received < total do
+    let k = Stdlib.min batch (total - !sent) in
+    for _ = 1 to k do
+      let frame =
+        Codec.encode_frame scratch Codecs.ring ~src:0
+          ~channel:Tr_sim.Network.Reliable
+          (Tr_proto.Ring.Token { stamp = !sent })
+      in
+      Transport.send_frame t ~src:0 ~dst:1 ~delay:0.0 frame;
+      incr sent
+    done;
+    Transport.poll t ~owner:1 on_frame
+  done;
+  Transport.close t;
+  let stats = Transport.stats t in
+  (Atomic.get stats.Transport.frames_sent, Atomic.get stats.Transport.bytes_sent)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tr-net-bench-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Unix.unlink (Filename.concat dir f) with _ -> ())
+        (try Sys.readdir dir with _ -> [||]);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+(* Same pump over a Unix-domain stream socket (both ends hosted in this
+   process: node 0 writes, node 1 reads; poll 0 flushes, poll 1 drains).
+   Returns (frames_sent, bytes_sent, write_syscalls, read_syscalls) —
+   one poll now flushes a whole batch with a single write(2), where the
+   pre-refactor path paid one write(2) per frame. *)
+let pump_uds ~total () =
+  with_temp_dir (fun dir ->
+      let clock = Clock.create ~unit_s:1e-3 () in
+      let addrs = Transport.uds_addrs ~dir ~n:2 in
+      let t = Transport.sockets ~clock ~n:2 ~owned:[ 0; 1 ] ~addrs in
+      let scratch = Codec.scratch () in
+      let received = ref 0 in
+      let sent = ref 0 in
+      let on_frame view =
+        match Codec.decode_view Codecs.ring view with
+        | Ok _ -> incr received
+        | Error _ -> failwith "net_bench: uds decode error"
+      in
+      while !received < total do
+        let k = Stdlib.min batch (total - !sent) in
+        for _ = 1 to k do
+          let frame =
+            Codec.encode_frame scratch Codecs.ring ~src:0
+              ~channel:Tr_sim.Network.Reliable
+              (Tr_proto.Ring.Token { stamp = !sent })
+          in
+          Transport.send_frame t ~src:0 ~dst:1 ~delay:0.0 frame;
+          incr sent
+        done;
+        (* Flush node 0's coalesced buffer, then drain node 1's socket. *)
+        Transport.poll t ~owner:0 (fun _ -> ());
+        Transport.poll t ~owner:1 on_frame
+      done;
+      let stats = Transport.stats t in
+      let counters =
+        ( Atomic.get stats.Transport.frames_sent,
+          Atomic.get stats.Transport.bytes_sent,
+          Atomic.get stats.Transport.write_syscalls,
+          Atomic.get stats.Transport.read_syscalls )
+      in
+      Transport.close t;
+      counters)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end live clusters: grants/s vs N                             *)
+(* ------------------------------------------------------------------ *)
+
+let grants_case ~protocol ~n ~grants =
+  let config =
+    {
+      (Cluster.default_config ~n ~seed:42) with
+      unit_s = 1e-4;
+      load = Cluster.Closed_loop { depth = 2 };
+      stop = Cluster.Grants grants;
+      max_wall_s = 60.0;
+    }
+  in
+  let report = Cluster.run_packed config (Codecs.find_exn protocol) in
+  if report.Cluster.decode_errors > 0 then
+    failwith
+      (Printf.sprintf "net_bench: %s n=%d live decode errors" protocol n);
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-refactor numbers, measured on this host at commit a628964 with
+   this harness (same totals, same best-of-3 policy, same container).
+   The old socket path issued one write(2) per frame by construction. *)
+type baseline = { frames_per_s : float; syscalls_per_frame : float option }
+
+let loopback_baseline =
+  Some { frames_per_s = 2_398_786.0; syscalls_per_frame = None }
+
+let uds_baseline = Some { frames_per_s = 992_474.0; syscalls_per_frame = Some 1.0 }
+
+let case_json ~name ~frames ~bytes ~wall_s ~words_per_frame ~syscalls
+    ~(baseline : baseline option) =
+  let fps = float_of_int frames /. wall_s in
+  let base =
+    match baseline with
+    | None -> {|"baseline_frames_per_s": null, "speedup": null|}
+    | Some b ->
+        Printf.sprintf
+          {|"baseline_frames_per_s": %.0f, "speedup": %.2f%s|} b.frames_per_s
+          (fps /. b.frames_per_s)
+          (match b.syscalls_per_frame with
+          | None -> ""
+          | Some s ->
+              Printf.sprintf {|, "baseline_write_syscalls_per_frame": %.2f|} s)
+  in
+  let sys =
+    match syscalls with
+    | None -> {|"write_syscalls_per_frame": null|}
+    | Some (w, r) ->
+        Printf.sprintf
+          {|"write_syscalls_per_frame": %.4f, "read_syscalls_per_frame": %.4f|}
+          (float_of_int w /. float_of_int frames)
+          (float_of_int r /. float_of_int frames)
+  in
+  Printf.sprintf
+    {|    { "case": %S, "frames": %d, "bytes": %d, "wall_s": %.4f,
+      "frames_per_s": %.0f, "alloc_words_per_frame": %.1f,
+      %s, %s }|}
+    name frames bytes wall_s fps words_per_frame sys base
+
+(* Per-stage breakdown of the loopback pipeline — run with --micro to
+   see where a frame's nanoseconds go before reaching for a profiler. *)
+let micro () =
+  let iters = 1_000_000 in
+  let stage name f =
+    let s0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    let s1 = Gc.quick_stat () in
+    let words =
+      s1.Gc.minor_words -. s0.Gc.minor_words
+      +. (s1.Gc.major_words -. s0.Gc.major_words)
+    in
+    Printf.printf "%-24s %8.1f ns/op %8.1f words/op\n%!" name
+      (dt /. float_of_int iters *. 1e9)
+      (words /. float_of_int iters)
+  in
+  let clock = Clock.create ~unit_s:1e-3 () in
+  stage "clock_now" (fun () ->
+      for _ = 1 to iters do
+        ignore (Clock.now clock)
+      done);
+  let scratch = Codec.scratch () in
+  let chan = Tr_sim.Network.Reliable in
+  stage "encode_frame" (fun () ->
+      for i = 1 to iters do
+        ignore
+          (Codec.encode_frame scratch Codecs.ring ~src:0 ~channel:chan
+             (Tr_proto.Ring.Token { stamp = i }))
+      done);
+  let frame =
+    Codec.encode_envelope Codecs.ring ~src:0 ~channel:chan
+      (Tr_proto.Ring.Token { stamp = 123456 })
+  in
+  stage "decode_exact" (fun () ->
+      for _ = 1 to iters do
+        match Tr_wire.Frame.decode_exact frame with
+        | Ok _ -> ()
+        | Error _ -> assert false
+      done);
+  stage "decode_exact+view" (fun () ->
+      for _ = 1 to iters do
+        match Tr_wire.Frame.decode_exact frame with
+        | Ok v -> (
+            match Codec.decode_view Codecs.ring v with
+            | Ok _ -> ()
+            | Error _ -> assert false)
+        | Error _ -> assert false
+      done);
+  let mb = Tr_net_rt.Mailbox.create () in
+  stage "mailbox_push_drain" (fun () ->
+      for _ = 1 to iters / 64 do
+        for _ = 1 to 64 do
+          Tr_net_rt.Mailbox.push mb (0.0, frame)
+        done;
+        ignore (Tr_net_rt.Mailbox.drain mb)
+      done);
+  let pq = Tr_sim.Pqueue.create () in
+  stage "pqueue_push_pop" (fun () ->
+      for _ = 1 to iters / 64 do
+        for i = 1 to 64 do
+          Tr_sim.Pqueue.push pq ~time:(float_of_int i) frame
+        done;
+        for _ = 1 to 64 do
+          ignore (Tr_sim.Pqueue.pop_exn pq)
+        done
+      done)
+
+let () =
+  if Array.exists (String.equal "--micro") Sys.argv then begin
+    micro ();
+    exit 0
+  end;
+  let reps = if quick then 1 else 3 in
+  let total = if quick then 20_000 else 2_000_000 in
+  Format.eprintf "timing loopback pump (%d frames)...@." total;
+  let loop_wall = best_of reps (fun () -> ignore (pump_loopback ~total ())) in
+  let (loop_frames, loop_bytes), loop_words =
+    alloc_words (fun () -> pump_loopback ~total ())
+  in
+  Format.eprintf "timing uds pump (%d frames)...@." total;
+  let uds_total = if quick then 20_000 else 1_000_000 in
+  let uds_wall = best_of reps (fun () -> ignore (pump_uds ~total:uds_total ())) in
+  let (uds_frames, uds_bytes, uds_writes, uds_reads), uds_words =
+    alloc_words (fun () -> pump_uds ~total:uds_total ())
+  in
+  let ns = if quick then [ 4 ] else [ 4; 8; 16 ] in
+  let grants = if quick then 200 else 2000 in
+  let grant_rows =
+    List.concat_map
+      (fun protocol ->
+        List.map
+          (fun n ->
+            Format.eprintf "live %s n=%d (%d grants)...@." protocol n grants;
+            let r = grants_case ~protocol ~n ~grants in
+            Printf.sprintf
+              {|    { "protocol": %S, "n": %d, "grants": %d, "wall_s": %.3f,
+      "grants_per_s": %.0f, "frames_per_grant": %.2f }|}
+              protocol n r.Cluster.grants r.Cluster.wall_s
+              (float_of_int r.Cluster.grants /. r.Cluster.wall_s)
+              (float_of_int r.Cluster.frames_sent
+              /. float_of_int (Stdlib.max 1 r.Cluster.grants)))
+          ns)
+      [ "ring"; "binsearch" ]
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "host": { "cores": %d, "ocaml": %S },
+  "mode": %S,
+  "policy": "wall-clock best of %d; %d-frame loopback pump, %d-frame uds pump, batch %d; alloc from Gc.quick_stat deltas",
+  "cases": [
+%s
+  ],
+  "grants_vs_n": [
+%s
+  ]
+}
+|}
+      (Domain.recommended_domain_count ())
+      Sys.ocaml_version
+      (if quick then "quick" else "full")
+      reps total uds_total batch
+      (String.concat ",\n"
+         [
+           case_json ~name:"loopback_frames" ~frames:loop_frames
+             ~bytes:loop_bytes ~wall_s:loop_wall
+             ~words_per_frame:(loop_words /. float_of_int loop_frames)
+             ~syscalls:None ~baseline:loopback_baseline;
+           case_json ~name:"uds_frames" ~frames:uds_frames ~bytes:uds_bytes
+             ~wall_s:uds_wall
+             ~words_per_frame:(uds_words /. float_of_int uds_frames)
+             ~syscalls:(Some (uds_writes, uds_reads)) ~baseline:uds_baseline;
+         ])
+      (String.concat ",\n" grant_rows)
+  in
+  let oc = open_out "BENCH_net.json" in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_net.json (%s mode)@."
+    (if quick then "quick" else "full")

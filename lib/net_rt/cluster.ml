@@ -55,8 +55,11 @@ type report = {
   bytes_sent : int;
   frames_received : int;
   decode_errors : int;
+  resync_skips : int;
   reconnects : int;
   frames_dropped : int;
+  write_syscalls : int;
+  read_syscalls : int;
   metrics : Metrics.t;
 }
 
@@ -72,14 +75,12 @@ type ('state, 'msg) rt = {
   ctx : 'msg Node_intf.ctx;
 }
 
-(* When a shard can't bound its next event (socket backend, or frames
-   that other domains may queue mid-sleep), it naps at most this many
-   units so surprises are picked up promptly. *)
+(* When a loopback shard can't bound its next event (frames that other
+   domains may queue mid-sleep), it naps at most this many units so
+   surprises are picked up promptly. Socket shards don't nap on a
+   cadence at all — they block in [Transport.wait] until a descriptor
+   or a wake pipe is ready. *)
 let idle_cap_units = 0.5
-
-(* Socket reads have no due-time oracle; poll at sub-millisecond wall
-   cadence regardless of the unit scale. *)
-let socket_poll_wall_s = 0.0005
 
 let validate (config : config) =
   if config.n < 2 then invalid_arg "Cluster.run: n < 2";
@@ -125,6 +126,15 @@ let run (type m) ?tap ?(backend = Loopback) config
   let stop_flag = Atomic.make false in
   let alive = Array.init n (fun _ -> Atomic.make true) in
   let failure_box : exn option Atomic.t = Atomic.make None in
+  (* Socket shards sleep in [select]; these hooks (filled in once the
+     shard layout is known) poke their wake pipes so a stop request or a
+     cross-shard load injection is seen immediately, not at a timeout. *)
+  let wake_all = ref (fun () -> ()) in
+  let wake_node = ref (fun (_ : int) -> ()) in
+  let signal_stop () =
+    Atomic.set stop_flag true;
+    !wake_all ()
+  in
   (* Timer plumbing, index-addressed so ctx closures need no [rt]. *)
   let timers = Array.init n (fun _ -> Pqueue.create ()) in
   let epochs = Array.init n (fun _ -> Hashtbl.create 8) in
@@ -137,23 +147,26 @@ let run (type m) ?tap ?(backend = Loopback) config
       kill =
         (fun i ->
           if i >= 0 && i < n then Atomic.set alive.(i) false);
-      request_stop = (fun () -> Atomic.set stop_flag true);
+      request_stop = signal_stop;
       live_now = (fun () -> Clock.now clock);
     }
   in
   let make_ctx node : m Node_intf.ctx =
     let rng = Rng.create ((config.seed * 1_000_003) + node) in
+    (* One scratch per node: only its owning shard encodes with it, so
+       steady-state sends allocate no fresh buffers. *)
+    let scratch = Codec.scratch () in
     let send ?(channel = Network.Reliable) ~dst msg =
       if dst < 0 || dst >= n then
         invalid_arg "Cluster: send destination out of range";
       with_mu (fun () -> Metrics.on_message metrics channel (P.classify msg));
-      let frame = Codec.encode_envelope codec ~src:node ~channel msg in
+      let frame = Codec.encode_frame scratch codec ~src:node ~channel msg in
       let delay =
         match channel with
         | Network.Reliable -> config.hop_delay
         | Network.Cheap -> config.cheap_delay
       in
-      Transport.send transport ~src:node ~dst ~delay frame
+      Transport.send_frame transport ~src:node ~dst ~delay frame
     in
     let set_timer ~delay ~key =
       if delay < 0.0 then invalid_arg "Cluster: negative timer delay";
@@ -186,7 +199,7 @@ let run (type m) ?tap ?(backend = Loopback) config
           Mailbox.push req_inbox.(node) (Clock.now clock)
       | _ -> ());
       match config.stop with
-      | Grants k -> if grants >= k then Atomic.set stop_flag true
+      | Grants k -> if grants >= k then signal_stop ()
       | Duration _ -> ()
     in
     {
@@ -240,10 +253,11 @@ let run (type m) ?tap ?(backend = Loopback) config
               |> List.filter (fun i -> Atomic.get alive.(i))
             in
             (match live with
-            | [] -> Atomic.set stop_flag true
+            | [] -> signal_stop ()
             | _ ->
                 let pick = List.nth live (Rng.int rng (List.length live)) in
-                Mailbox.push req_inbox.(pick) !next);
+                Mailbox.push req_inbox.(pick) !next;
+                !wake_node pick);
             next := !next +. Rng.exponential rng ~mean:mean_interarrival
           done
         in
@@ -261,8 +275,8 @@ let run (type m) ?tap ?(backend = Loopback) config
         arrivals;
       let tq = timers.(i) in
       let deliver ?upto () =
-        Transport.poll transport ?upto ~owner:i (fun payload ->
-            match Codec.decode_envelope codec payload with
+        Transport.poll transport ?upto ~owner:i (fun view ->
+            match Codec.decode_view codec view with
             | Error _ -> Transport.count_decode_error transport
             | Ok { Codec.src; channel = _; msg } ->
                 if Atomic.get alive.(i) then begin
@@ -322,22 +336,63 @@ let run (type m) ?tap ?(backend = Loopback) config
         | Some t -> Float.min acc t
         | None ->
             (* Loopback with an empty queue has nothing due (new frames
-               are bounded by the idle cap); sockets must be polled. *)
-            if Transport.poll_driven transport then
-              Float.min acc (now_u +. (socket_poll_wall_s /. config.unit_s))
-            else acc)
+               are bounded by the idle cap); socket arrivals surface as
+               fd readiness in [Transport.wait], not as due times. *)
+            acc)
       infinity shard_rts
   in
-  let shard_loop ~lead shard_rts () =
+  let shards = Stdlib.min config.shards (List.length rts) in
+  let shard_nodes =
+    List.init shards (fun s ->
+        List.filteri (fun idx _ -> idx mod shards = s) rts)
+  in
+  (* Readiness plumbing for socket shards: each shard sleeps in a
+     [select] over its nodes' descriptors plus a wake pipe. Anyone
+     setting the stop flag or injecting cross-shard load writes the pipe
+     (level-triggered: a byte written before the shard enters [select]
+     still wakes it), so there is no polling cadence to tune. *)
+  let use_select = Transport.poll_driven transport in
+  let wakes =
+    if use_select then
+      Array.init shards (fun _ ->
+          let r, w = Unix.pipe () in
+          Unix.set_nonblock r;
+          Unix.set_nonblock w;
+          (r, w))
+    else [||]
+  in
+  let shard_of = Array.make n (-1) in
+  List.iteri
+    (fun s nodes -> List.iter (fun rt -> shard_of.(rt.id) <- s) nodes)
+    shard_nodes;
+  let wake_byte = Bytes.make 1 '!' in
+  let wake_write fd =
+    try ignore (Unix.write fd wake_byte 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  if use_select then begin
+    (wake_all := fun () -> Array.iter (fun (_, w) -> wake_write w) wakes);
+    wake_node :=
+      fun i ->
+        if i >= 0 && i < n && shard_of.(i) >= 0 then
+          wake_write (snd wakes.(shard_of.(i)))
+  end;
+  let shard_loop ~lead ~shard shard_rts () =
+    let my_ids = List.map (fun rt -> rt.id) shard_rts in
+    let drain_buf = Bytes.create 64 in
+    let rec drain_wake fd =
+      match Unix.read fd drain_buf 0 (Bytes.length drain_buf) with
+      | k -> if k = Bytes.length drain_buf then drain_wake fd
+      | exception Unix.Unix_error _ -> ()
+    in
     try
       while not (Atomic.get stop_flag) do
-        if Clock.elapsed_wall clock > config.max_wall_s then
-          Atomic.set stop_flag true
+        if Clock.elapsed_wall clock > config.max_wall_s then signal_stop ()
         else begin
           let now_u = Clock.now clock in
           if lead then begin
             (match config.stop with
-            | Duration d -> if now_u >= d then Atomic.set stop_flag true
+            | Duration d -> if now_u >= d then signal_stop ()
             | Grants _ -> ());
             match open_loop with Some (pump, _) -> pump now_u | None -> ()
           end;
@@ -351,26 +406,43 @@ let run (type m) ?tap ?(backend = Loopback) config
               | None -> next
             else next
           in
-          let target = Float.min (now2 +. idle_cap_units) next in
-          if target > now2 && not (Atomic.get stop_flag) then
-            Clock.sleep_until clock target
+          if not (Atomic.get stop_flag) then
+            if use_select then begin
+              (* Block until a socket or the wake pipe is ready; timers
+                 bound the sleep. [Transport.wait] caps the timeout as a
+                 lost-wakeup safety net. *)
+              let timeout_s =
+                if next = infinity then infinity
+                else Float.max 0.0 ((next -. now2) *. config.unit_s)
+              in
+              if timeout_s > 0.0 then begin
+                let wake_r, _ = wakes.(shard) in
+                Transport.wait transport ~extra_fds:[ wake_r ] ~owners:my_ids
+                  ~timeout_s ();
+                drain_wake wake_r
+              end
+            end
+            else begin
+              let target = Float.min (now2 +. idle_cap_units) next in
+              if target > now2 then Clock.sleep_until clock target
+            end
         end
       done
     with e ->
       ignore (Atomic.compare_and_set failure_box None (Some e));
-      Atomic.set stop_flag true
-  in
-  let shards = Stdlib.min config.shards (List.length rts) in
-  let shard_nodes =
-    List.init shards (fun s ->
-        List.filteri (fun idx _ -> idx mod shards = s) rts)
+      signal_stop ()
   in
   let domains =
     List.mapi
-      (fun s nodes -> Domain.spawn (shard_loop ~lead:(s = 0) nodes))
+      (fun s nodes -> Domain.spawn (shard_loop ~lead:(s = 0) ~shard:s nodes))
       shard_nodes
   in
   List.iter Domain.join domains;
+  Array.iter
+    (fun (r, w) ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    wakes;
   Transport.close transport;
   (match Atomic.get failure_box with Some e -> raise e | None -> ());
   let s = Transport.stats transport in
@@ -388,8 +460,11 @@ let run (type m) ?tap ?(backend = Loopback) config
     bytes_sent = Atomic.get s.bytes_sent;
     frames_received = Atomic.get s.frames_received;
     decode_errors = Atomic.get s.decode_errors;
+    resync_skips = Atomic.get s.resync_skips;
     reconnects = Atomic.get s.reconnects;
     frames_dropped = Atomic.get s.frames_dropped;
+    write_syscalls = Atomic.get s.write_syscalls;
+    read_syscalls = Atomic.get s.read_syscalls;
     metrics;
   }
 

@@ -67,9 +67,14 @@ type report = {
   frames_sent : int;
   bytes_sent : int;
   frames_received : int;
-  decode_errors : int;
+  decode_errors : int;  (** Envelope-level failures (bad key/version/body). *)
+  resync_skips : int;
+      (** Framing-level skips: garbage bytes discarded to re-lock the
+          stream, or unknown-version frames skipped whole. *)
   reconnects : int;
   frames_dropped : int;
+  write_syscalls : int;  (** [write(2)] calls issued (sockets backends). *)
+  read_syscalls : int;  (** [read(2)] calls issued (sockets backends). *)
   metrics : Tr_sim.Metrics.t;
 }
 

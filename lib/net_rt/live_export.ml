@@ -75,8 +75,11 @@ let json_of_report (r : Cluster.report) =
       ("bytes_sent", string_of_int r.bytes_sent);
       ("frames_received", string_of_int r.frames_received);
       ("decode_errors", string_of_int r.decode_errors);
+      ("resync_skips", string_of_int r.resync_skips);
       ("reconnects", string_of_int r.reconnects);
       ("frames_dropped", string_of_int r.frames_dropped);
+      ("write_syscalls", string_of_int r.write_syscalls);
+      ("read_syscalls", string_of_int r.read_syscalls);
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));
       ( "responsiveness_quantiles",

@@ -5,8 +5,11 @@ type stats = {
   bytes_sent : int Atomic.t;
   frames_received : int Atomic.t;
   decode_errors : int Atomic.t;
+  resync_skips : int Atomic.t;
   reconnects : int Atomic.t;
   frames_dropped : int Atomic.t;
+  write_syscalls : int Atomic.t;
+  read_syscalls : int Atomic.t;
 }
 
 let make_stats () =
@@ -15,8 +18,11 @@ let make_stats () =
     bytes_sent = Atomic.make 0;
     frames_received = Atomic.make 0;
     decode_errors = Atomic.make 0;
+    resync_skips = Atomic.make 0;
     reconnects = Atomic.make 0;
     frames_dropped = Atomic.make 0;
+    write_syscalls = Atomic.make 0;
+    read_syscalls = Atomic.make 0;
   }
 
 type t = {
@@ -24,8 +30,11 @@ type t = {
   stats : stats;
   poll_driven : bool;
   send : src:int -> dst:int -> delay:float -> string -> unit;
-  poll : owner:int -> upto:float -> (string -> unit) -> unit;
+  send_frame : src:int -> dst:int -> delay:float -> Buffer.t -> unit;
+  poll : owner:int -> upto:float -> (Frame.view -> unit) -> unit;
   next_due : owner:int -> float option;
+  wait :
+    owners:int list -> extra_fds:Unix.file_descr list -> timeout_s:float -> unit;
   close : unit -> unit;
 }
 
@@ -33,23 +42,34 @@ let name t = t.name
 let stats t = t.stats
 let poll_driven t = t.poll_driven
 let send t = t.send
+let send_frame t = t.send_frame
 let poll t ?(upto = infinity) ~owner f = t.poll ~owner ~upto f
 let next_due t = t.next_due
+
+let wait t ?(extra_fds = []) ~owners ~timeout_s () =
+  t.wait ~owners ~extra_fds ~timeout_s
+
 let count_decode_error t = Atomic.incr t.stats.decode_errors
 let close t = t.close ()
 
-(* Pull every complete payload out of [dec], counting frames and skips. *)
+(* Upper bound on any readiness sleep: a safety net against a lost
+   wake-up, far above the hot-path cadence and far below human patience. *)
+let max_wait_s = 0.25
+
+(* Pull every complete payload view out of [dec]. Views borrow the
+   decoder's buffer; that is safe here because nothing feeds [dec]
+   until the callback returns. *)
 let drain_decoder stats dec f =
   let rec go () =
-    match Frame.Decoder.next dec with
-    | Frame.Decoder.Frame payload ->
+    match Frame.Decoder.next_view dec with
+    | Frame.Decoder.View v ->
         Atomic.incr stats.frames_received;
-        f payload;
+        f v;
         go ()
-    | Frame.Decoder.Skip _ ->
-        Atomic.incr stats.decode_errors;
+    | Frame.Decoder.Skip_view _ ->
+        Atomic.incr stats.resync_skips;
         go ()
-    | Frame.Decoder.Await -> ()
+    | Frame.Decoder.Await_view -> ()
   in
   go ()
 
@@ -67,15 +87,9 @@ module Loopback = struct
     inbox : (float * string) Mailbox.t;
     (* Owner-shard side: deliveries ordered by due time. *)
     pending : string Tr_sim.Pqueue.t;
-    dec : Frame.Decoder.t;
   }
 
-  let make_node () =
-    {
-      inbox = Mailbox.create ();
-      pending = Tr_sim.Pqueue.create ();
-      dec = Frame.Decoder.create ();
-    }
+  let make_node () = { inbox = Mailbox.create (); pending = Tr_sim.Pqueue.create () }
 
   (* Move everything the other domains queued into the owner's heap. *)
   let settle node =
@@ -86,7 +100,7 @@ module Loopback = struct
   let create ~clock ~n =
     let stats = make_stats () in
     let nodes = Array.init n (fun _ -> make_node ()) in
-    let send ~src ~dst ~delay frame =
+    let push ~src ~dst ~delay frame =
       check_node ~what:"send src" ~n src;
       check_node ~what:"send dst" ~n dst;
       ignore src;
@@ -94,6 +108,13 @@ module Loopback = struct
       ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
       let due = Clock.now clock +. Float.max 0.0 delay in
       Mailbox.push nodes.(dst).inbox (due, frame)
+    in
+    let send ~src ~dst ~delay frame = push ~src ~dst ~delay frame in
+    (* The frame must outlive the mailbox hop, so crossing domains costs
+       exactly one string per frame — and that string is then decoded in
+       place ([decode_exact]), never copied again. *)
+    let send_frame ~src ~dst ~delay buf =
+      push ~src ~dst ~delay (Buffer.contents buf)
     in
     let poll ~owner ~upto f =
       check_node ~what:"poll owner" ~n owner;
@@ -106,8 +127,11 @@ module Loopback = struct
           && Tr_sim.Pqueue.top_time_exn node.pending <= now
         then begin
           let frame = Tr_sim.Pqueue.pop_exn node.pending in
-          Frame.Decoder.feed node.dec frame;
-          drain_decoder stats node.dec f;
+          (match Frame.decode_exact frame with
+          | Ok v ->
+              Atomic.incr stats.frames_received;
+              f v
+          | Error _ -> Atomic.incr stats.resync_skips);
           deliver ()
         end
       in
@@ -119,13 +143,18 @@ module Loopback = struct
       settle node;
       Tr_sim.Pqueue.peek_time node.pending
     in
+    let wait ~owners:_ ~extra_fds:_ ~timeout_s =
+      if timeout_s > 0.0 then Unix.sleepf (Float.min timeout_s max_wait_s)
+    in
     {
       name = "loopback";
       stats;
       poll_driven = false;
       send;
+      send_frame;
       poll;
       next_due;
+      wait;
       close = (fun () -> ());
     }
 end
@@ -143,30 +172,46 @@ module Sockets = struct
      framing) and counted in [frames_dropped]. *)
   let high_water = 4 * 1024 * 1024
 
-  (* [Unix.write_substring] cannot pass MSG_NOSIGNAL, so a write to a
-     peer that closed its end raises SIGPIPE and the default handler
-     kills the whole process before [tear_down] can run. Ignore it once,
+  (* [Unix.write] cannot pass MSG_NOSIGNAL, so a write to a peer that
+     closed its end raises SIGPIPE and the default handler kills the
+     whole process before [tear_down] can run. Ignore it once,
      process-wide, so the failure surfaces as EPIPE instead. *)
   let ignore_sigpipe =
     lazy
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ | Sys_error _ -> ())
 
+  (* Nagle's algorithm would hold our (already-coalesced) small writes
+     back waiting for acks; batching happens in [conn_out], not in the
+     kernel, so tell TCP to ship immediately. *)
+  let set_nodelay fd =
+    try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
   type conn_in = { fd : Unix.file_descr; dec : Frame.Decoder.t }
 
+  (* Outgoing frames coalesce into one flat buffer, flushed with a
+     single [write] per poll. [bounds] remembers each queued frame's
+     length so a torn-down connection can drop its partially-written
+     head frame whole — resuming mid-frame on a fresh connection would
+     open the stream with garbage and force a resync at the receiver. *)
   type conn_out = {
     addr : Unix.sockaddr;
     mutable fd : Unix.file_descr option;
-    queue : string Queue.t;  (** Frames accepted but not yet written. *)
+    mutable out : Bytes.t;  (** Unwritten bytes live in [out_pos..out_len). *)
+    mutable out_pos : int;
+    mutable out_len : int;
+    bounds : int Queue.t;  (** Byte length of each queued frame, in order. *)
     mutable head_off : int;  (** Bytes of the head frame already written. *)
-    mutable queued_bytes : int;  (** Unwritten bytes across the queue. *)
     mutable backoff : float;
     mutable retry_at : float;  (** Wall time before which we won't dial. *)
   }
 
+  let queued co = co.out_len - co.out_pos
+
   type node = {
     id : int;
     listen : Unix.file_descr;
+    nodelay : bool;
     mutable ins : conn_in list;
     outs : conn_out option array;
     readbuf : Bytes.t;
@@ -174,9 +219,24 @@ module Sockets = struct
 
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+  let reset_if_empty co =
+    if queued co = 0 then begin
+      co.out_pos <- 0;
+      co.out_len <- 0
+    end
+
   let tear_down stats co =
     (match co.fd with Some fd -> close_quietly fd | None -> ());
     co.fd <- None;
+    if co.head_off > 0 then begin
+      (* Drop the half-written head frame whole; its tail must not open
+         the next connection mid-frame. *)
+      let head = Queue.pop co.bounds in
+      co.out_pos <- co.out_pos + (head - co.head_off);
+      co.head_off <- 0;
+      Atomic.incr stats.frames_dropped;
+      reset_if_empty co
+    end;
     co.backoff <- Float.min backoff_max (Float.max backoff_min (2.0 *. co.backoff));
     co.retry_at <- Unix.gettimeofday () +. co.backoff;
     Atomic.incr stats.reconnects
@@ -184,6 +244,9 @@ module Sockets = struct
   let dial stats co =
     let fd = Unix.socket (Unix.domain_of_sockaddr co.addr) Unix.SOCK_STREAM 0 in
     Unix.set_nonblock fd;
+    (match co.addr with
+    | Unix.ADDR_INET _ -> set_nodelay fd
+    | Unix.ADDR_UNIX _ -> ());
     match Unix.connect fd co.addr with
     | () -> co.fd <- Some fd
     | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN | EINTR), _, _)
@@ -194,31 +257,75 @@ module Sockets = struct
         co.fd <- None;
         tear_down stats co
 
+  (* Append [len] frame bytes to the coalescing buffer. [blit dst dstoff]
+     writes them; the caller has already counted the frame. *)
+  let append co ~len blit =
+    if co.out_len + len > Bytes.length co.out then begin
+      if co.out_pos > 0 then begin
+        Bytes.blit co.out co.out_pos co.out 0 (queued co);
+        co.out_len <- queued co;
+        co.out_pos <- 0
+      end;
+      if co.out_len + len > Bytes.length co.out then begin
+        let cap = ref (Stdlib.max 4096 (2 * Bytes.length co.out)) in
+        while co.out_len + len > !cap do
+          cap := 2 * !cap
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit co.out 0 bigger 0 co.out_len;
+        co.out <- bigger
+      end
+    end;
+    blit co.out co.out_len;
+    co.out_len <- co.out_len + len;
+    Queue.add len co.bounds
+
+  (* Account [wrote] flushed bytes against the frame-boundary queue. *)
+  let advance co wrote =
+    co.out_pos <- co.out_pos + wrote;
+    let rec pop w =
+      if w > 0 then begin
+        let head = Queue.peek co.bounds in
+        let rem = head - co.head_off in
+        if w >= rem then begin
+          ignore (Queue.pop co.bounds);
+          co.head_off <- 0;
+          pop (w - rem)
+        end
+        else co.head_off <- co.head_off + w
+      end
+    in
+    pop wrote;
+    reset_if_empty co
+
+  (* One [write] covering every queued frame; a partial write means the
+     kernel buffer is full, so stop rather than spin. Sends between two
+     polls therefore cost at most one syscall total. *)
   let rec flush stats co =
-    if co.queued_bytes > 0 then
+    if queued co > 0 then
       match co.fd with
-      | None -> if Unix.gettimeofday () >= co.retry_at then (dial stats co; flush stats co)
+      | None ->
+          if Unix.gettimeofday () >= co.retry_at then begin
+            dial stats co;
+            if co.fd <> None then flush stats co
+          end
       | Some fd -> (
-          let head = Queue.peek co.queue in
-          let len = String.length head - co.head_off in
-          match Unix.write_substring fd head co.head_off len with
+          match Unix.write fd co.out co.out_pos (queued co) with
           | wrote ->
+              Atomic.incr stats.write_syscalls;
               co.backoff <- backoff_min;
-              co.queued_bytes <- co.queued_bytes - wrote;
-              if wrote = len then begin
-                ignore (Queue.pop co.queue);
-                co.head_off <- 0;
-                flush stats co
-              end
-              else co.head_off <- co.head_off + wrote
+              advance co wrote
           | exception
               Unix.Unix_error
-                ((EAGAIN | EWOULDBLOCK | EINTR | ENOTCONN | EINPROGRESS | EALREADY), _, _)
-            ->
+                ( (EAGAIN | EWOULDBLOCK | EINTR | ENOTCONN | EINPROGRESS | EALREADY),
+                  _,
+                  _ ) ->
               (* Still connecting, or the kernel buffer is full; the bytes
                  stay queued for the next poll. *)
-              ()
-          | exception Unix.Unix_error (_, _, _) -> tear_down stats co)
+              Atomic.incr stats.write_syscalls
+          | exception Unix.Unix_error (_, _, _) ->
+              Atomic.incr stats.write_syscalls;
+              tear_down stats co)
 
   let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
@@ -240,6 +347,7 @@ module Sockets = struct
       match Unix.accept ~cloexec:true node.listen with
       | fd, _ ->
           Unix.set_nonblock fd;
+          if node.nodelay then set_nodelay fd;
           node.ins <- { fd; dec = Frame.Decoder.create () } :: node.ins;
           go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
@@ -252,14 +360,19 @@ module Sockets = struct
     let rec go () =
       match Unix.read ci.fd node.readbuf 0 (Bytes.length node.readbuf) with
       | 0 ->
+          Atomic.incr stats.read_syscalls;
           close_quietly ci.fd;
           false
       | k ->
+          Atomic.incr stats.read_syscalls;
           Frame.Decoder.feed_sub ci.dec node.readbuf ~pos:0 ~len:k;
           drain_decoder stats ci.dec f;
           if k = Bytes.length node.readbuf then go () else true
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> true
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          Atomic.incr stats.read_syscalls;
+          true
       | exception Unix.Unix_error (_, _, _) ->
+          Atomic.incr stats.read_syscalls;
           close_quietly ci.fd;
           false
     in
@@ -279,6 +392,10 @@ module Sockets = struct
             {
               id = i;
               listen = make_listener addrs.(i);
+              nodelay =
+                (match addrs.(i) with
+                | Unix.ADDR_INET _ -> true
+                | Unix.ADDR_UNIX _ -> false);
               ins = [];
               outs = Array.make n None;
               readbuf = Bytes.create 65536;
@@ -300,9 +417,11 @@ module Sockets = struct
             {
               addr = addrs.(dst);
               fd = None;
-              queue = Queue.create ();
+              out = Bytes.create 4096;
+              out_pos = 0;
+              out_len = 0;
+              bounds = Queue.create ();
               head_off = 0;
-              queued_bytes = 0;
               backoff = backoff_min;
               retry_at = 0.0;
             }
@@ -310,19 +429,27 @@ module Sockets = struct
           node.outs.(dst) <- Some co;
           co
     in
-    let send ~src ~dst ~delay:_ frame =
+    (* Enqueue only — the coalesced buffer is flushed once per [poll],
+       so a burst of sends inside one loop iteration shares a single
+       write syscall. *)
+    let enqueue ~src ~dst ~len blit =
       check_node ~what:"send dst" ~n dst;
       let node = host ~what:"send src" src in
       let co = out_conn node dst in
-      if co.queued_bytes + String.length frame > high_water then
-        Atomic.incr stats.frames_dropped
+      if queued co + len > high_water then Atomic.incr stats.frames_dropped
       else begin
         Atomic.incr stats.frames_sent;
-        ignore (Atomic.fetch_and_add stats.bytes_sent (String.length frame));
-        Queue.add frame co.queue;
-        co.queued_bytes <- co.queued_bytes + String.length frame;
-        flush stats co
+        ignore (Atomic.fetch_and_add stats.bytes_sent len);
+        append co ~len blit
       end
+    in
+    let send ~src ~dst ~delay:_ frame =
+      enqueue ~src ~dst ~len:(String.length frame) (fun dst_buf dst_off ->
+          Bytes.blit_string frame 0 dst_buf dst_off (String.length frame))
+    in
+    let send_frame ~src ~dst ~delay:_ buf =
+      enqueue ~src ~dst ~len:(Buffer.length buf) (fun dst_buf dst_off ->
+          Buffer.blit buf 0 dst_buf dst_off (Buffer.length buf))
     in
     let poll ~owner ~upto:_ f =
       (* Socket arrival times are physical: any buffered byte arrived in
@@ -335,6 +462,40 @@ module Sockets = struct
         node.outs
     in
     let next_due ~owner:_ = None in
+    (* Block until something the owners care about can make progress:
+       an inbound byte or connection, an outgoing buffer draining, or a
+       caller-supplied wake fd. Reconnect timers bound the sleep so a
+       peer coming back is noticed promptly. *)
+    let wait ~owners ~extra_fds ~timeout_s =
+      let timeout = ref (Float.min timeout_s max_wait_s) in
+      let reads = ref extra_fds in
+      let writes = ref [] in
+      let now = ref nan in
+      List.iter
+        (fun i ->
+          match hosted.(i) with
+          | None -> ()
+          | Some node ->
+              reads := node.listen :: !reads;
+              List.iter (fun (ci : conn_in) -> reads := ci.fd :: !reads) node.ins;
+              Array.iter
+                (function
+                  | Some co when queued co > 0 -> (
+                      match co.fd with
+                      | Some fd -> writes := fd :: !writes
+                      | None ->
+                          if Float.is_nan !now then now := Unix.gettimeofday ();
+                          timeout :=
+                            Float.min !timeout
+                              (Float.max backoff_min (co.retry_at -. !now)))
+                  | _ -> ())
+                node.outs)
+        owners;
+      if !timeout > 0.0 then
+        match Unix.select !reads !writes [] !timeout with
+        | _ -> ()
+        | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> ()
+    in
     let close () =
       Array.iter
         (function
@@ -360,7 +521,17 @@ module Sockets = struct
         | Unix.ADDR_INET _ -> "tcp"
       else "tcp"
     in
-    { name; stats; poll_driven = true; send; poll; next_due; close }
+    {
+      name;
+      stats;
+      poll_driven = true;
+      send;
+      send_frame;
+      poll;
+      next_due;
+      wait;
+      close;
+    }
 end
 
 let loopback ~clock ~n = Loopback.create ~clock ~n

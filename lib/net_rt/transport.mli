@@ -2,38 +2,53 @@
 
     A transport moves {e framed} byte strings (see {!Tr_wire.Frame}) from
     a source node to a destination node and hands complete frame payloads
-    back to the destination's owning shard. It knows nothing about
-    protocol messages — codecs live a layer up.
+    back to the destination's owning shard as borrowed {!Tr_wire.Frame.view}
+    slices — no per-frame copy. It knows nothing about protocol
+    messages — codecs live a layer up.
 
     {b Loopback} keeps the cluster in one process: each node has a
     lock-free {!Mailbox} fed by any domain, and deliveries honour a
     per-send [delay] (in clock units) through a min-heap, so the default
     one-unit hop reproduces the simulator's network model in real time.
+    Delivery decodes each queued frame in place ({!Tr_wire.Frame.decode_exact});
+    the only steady-state allocation is the one string that carries the
+    frame across domains.
 
     {b Sockets} runs over TCP or Unix-domain stream sockets, one
-    listener per hosted node. All I/O is non-blocking: partial reads
-    accumulate in an incremental frame decoder, partial writes stay in a
-    bounded per-peer queue (frames past the high-water mark are dropped
-    whole and counted), and a failed or refused connection backs off
-    exponentially (10 ms doubling to 1 s) before reconnecting. The wire
-    itself is the delay model — the [delay] argument is ignored.
-    Creating a sockets transport installs a process-wide SIGPIPE ignore
-    so a disconnected peer surfaces as [EPIPE] (handled by the reconnect
-    path) instead of killing the process. *)
+    listener per hosted node. All I/O is non-blocking. Outgoing frames
+    coalesce into a flat per-peer buffer that {!poll} flushes with a
+    single [write(2)] — many frames per syscall — bounded by a 4 MiB
+    high-water mark (frames past it are dropped whole and counted).
+    Partial reads accumulate in an incremental frame decoder; a failed
+    or refused connection backs off exponentially (10 ms doubling to
+    1 s) before reconnecting, and a connection torn down mid-frame drops
+    the half-written frame whole so the next connection starts on a
+    frame boundary. TCP peers are set [TCP_NODELAY] — batching happens
+    in the transport, not in Nagle's queue. The wire itself is the delay
+    model — the [delay] argument is ignored. Creating a sockets
+    transport installs a process-wide SIGPIPE ignore so a disconnected
+    peer surfaces as [EPIPE] (handled by the reconnect path) instead of
+    killing the process. *)
 
 type stats = {
   frames_sent : int Atomic.t;
   bytes_sent : int Atomic.t;
   frames_received : int Atomic.t;
   decode_errors : int Atomic.t;
-      (** Framing-level skips (resyncs) plus envelope decode failures
-          reported via {!count_decode_error}. *)
+      (** Envelope decode failures reported via {!count_decode_error}. *)
+  resync_skips : int Atomic.t;
+      (** Framing-level skips: bytes discarded to resynchronise after
+          garbage, plus unknown-version frames skipped whole. *)
   reconnects : int Atomic.t;
       (** Times an outgoing connection was torn down and rescheduled. *)
   frames_dropped : int Atomic.t;
-      (** Sends refused because the per-peer outgoing queue was over its
-          high-water mark (sockets only; an unreachable peer cannot queue
-          unbounded memory). *)
+      (** Sends refused because the per-peer outgoing buffer was over its
+          high-water mark, plus half-written frames discarded at
+          tear-down (sockets only). *)
+  write_syscalls : int Atomic.t;
+      (** [write(2)] calls issued (sockets only) — with batching this
+          stays well below [frames_sent]. *)
+  read_syscalls : int Atomic.t;  (** [read(2)] calls issued (sockets only). *)
 }
 
 type t
@@ -45,24 +60,47 @@ val stats : t -> stats
 
 val send : t -> src:int -> dst:int -> delay:float -> string -> unit
 (** Ship one complete frame. [delay] is in clock units (loopback only).
-    Never blocks; socket sends queue behind a reconnecting peer. *)
+    Never blocks; socket sends coalesce until the next {!poll} flush. *)
 
-val poll : t -> ?upto:float -> owner:int -> (string -> unit) -> unit
+val send_frame : t -> src:int -> dst:int -> delay:float -> Buffer.t -> unit
+(** As {!send}, straight out of an encode buffer (see
+    {!Tr_wire.Codec.encode_frame}): the contents are copied out before
+    returning, so the caller may reuse the buffer immediately. On the
+    sockets backend this path allocates nothing. *)
+
+val poll : t -> ?upto:float -> owner:int -> (Tr_wire.Frame.view -> unit) -> unit
 (** Deliver every frame payload currently due for node [owner] to the
-    callback, in arrival order. [upto] caps the delivery horizon in
-    clock units (loopback only) so the caller can interleave timers and
-    deliveries in due-time order; socket arrivals are physical and
-    always due. Must only be called from the shard that owns the
-    node. *)
+    callback, in arrival order, as borrowed views (valid only during the
+    callback). Also flushes [owner]'s coalesced outgoing buffers — one
+    write syscall per busy peer per poll. [upto] caps the delivery
+    horizon in clock units (loopback only) so the caller can interleave
+    timers and deliveries in due-time order; socket arrivals are
+    physical and always due. Must only be called from the shard that
+    owns the node. *)
 
 val next_due : t -> owner:int -> float option
 (** Clock time (units) of the earliest queued delivery for [owner], if
     the backend can know it (loopback); [None] on sockets. *)
 
 val poll_driven : t -> bool
-(** True when frames can only be discovered by polling (sockets), so the
-    shard loop must wake at a fixed cadence; false when [next_due] is
-    authoritative modulo the idle cap (loopback). *)
+(** True when frames arrive over file descriptors (sockets), so the
+    shard loop should block in {!wait} for readiness; false when
+    [next_due] is authoritative modulo the idle cap (loopback). *)
+
+val wait :
+  t ->
+  ?extra_fds:Unix.file_descr list ->
+  owners:int list ->
+  timeout_s:float ->
+  unit ->
+  unit
+(** Block until work may be available for [owners] or [timeout_s]
+    elapses (capped at 0.25 s as a lost-wakeup safety net). On sockets
+    this is a [select] over the owners' listeners, inbound connections
+    and draining outbound buffers, plus any [extra_fds] (read side) the
+    caller wants as wake channels — an idle cluster burns no CPU.
+    Pending reconnect deadlines bound the sleep. On loopback it simply
+    sleeps. *)
 
 val count_decode_error : t -> unit
 (** Record an envelope-level decode failure (bad codec key/version or

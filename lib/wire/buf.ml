@@ -18,16 +18,15 @@ module Enc = struct
 
   (* LEB128 over the int's 63-bit two's-complement pattern: [lsr] makes
      the loop terminate even when the top (sign) bit is set, which
-     happens for zigzagged values of large magnitude. *)
-  let unsigned_varint buf v =
-    let rec go v =
-      if v >= 0 && v < 0x80 then byte buf v
-      else begin
-        byte buf (0x80 lor (v land 0x7f));
-        go (v lsr 7)
-      end
-    in
-    go v
+     happens for zigzagged values of large magnitude. Top-level
+     recursion, not a nested [go] — a nested closure would allocate on
+     every call, and this is the hottest byte-producing path. *)
+  let rec unsigned_varint buf v =
+    if v >= 0 && v < 0x80 then byte buf v
+    else begin
+      byte buf (0x80 lor (v land 0x7f));
+      unsigned_varint buf (v lsr 7)
+    end
 
   let uvarint buf v =
     if v < 0 then invalid_arg "Wire.Enc.uvarint: negative";
@@ -56,13 +55,21 @@ module Enc = struct
 end
 
 module Dec = struct
-  type t = { data : string; mutable pos : int; limit : int }
+  (* [data] is bytes so a cursor can read straight out of a frame
+     decoder's window without a per-frame [Bytes.sub_string] copy; the
+     decoder never writes while a cursor is live, and [of_string] wraps
+     without copying ([unsafe_of_string] is sound because no code path
+     here mutates [data]). *)
+  type t = { data : bytes; mutable pos : int; limit : int }
 
-  let of_string ?(pos = 0) ?limit data =
-    let limit = match limit with None -> String.length data | Some l -> l in
-    if pos < 0 || limit > String.length data || pos > limit then
-      invalid_arg "Wire.Dec.of_string: bad bounds";
+  let of_bytes ?(pos = 0) ?limit data =
+    let limit = match limit with None -> Bytes.length data | Some l -> l in
+    if pos < 0 || limit > Bytes.length data || pos > limit then
+      invalid_arg "Wire.Dec.of_bytes: bad bounds";
     { data; pos; limit }
+
+  let of_string ?pos ?limit data =
+    of_bytes ?pos ?limit (Bytes.unsafe_of_string data)
 
   let pos t = t.pos
   let remaining t = t.limit - t.pos
@@ -72,7 +79,7 @@ module Dec = struct
   let byte t =
     if t.pos >= t.limit then Error Truncated
     else begin
-      let c = Char.code t.data.[t.pos] in
+      let c = Char.code (Bytes.unsafe_get t.data t.pos) in
       t.pos <- t.pos + 1;
       Ok c
     end
@@ -81,26 +88,34 @@ module Dec = struct
      means the input is garbage, not merely long. *)
   let max_varint_bytes = 9
 
-  let uvarint t =
-    let rec go acc shift count =
-      if count > max_varint_bytes then Error (Malformed "varint too long")
-      else
-        let* b = byte t in
-        let acc = acc lor ((b land 0x7f) lsl shift) in
-        if b land 0x80 = 0 then Ok acc else go acc (shift + 7) (count + 1)
-    in
-    go 0 0 1
+  (* The varint loop is the hot path of every decode: written as a
+     top-level recursion with the byte read inlined so one call
+     allocates exactly one result, not a closure plus a result per
+     byte. *)
+  let rec uvarint_loop t acc shift count =
+    if count > max_varint_bytes then Error (Malformed "varint too long")
+    else if t.pos >= t.limit then Error Truncated
+    else begin
+      let b = Char.code (Bytes.unsafe_get t.data t.pos) in
+      t.pos <- t.pos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok acc
+      else uvarint_loop t acc (shift + 7) (count + 1)
+    end
+
+  let uvarint t = uvarint_loop t 0 0 1
 
   let int t =
-    let* u = uvarint t in
-    Ok (unzigzag u)
+    match uvarint t with
+    | Ok u -> Ok (unzigzag u)
+    | Error _ as e -> e
 
   let bool t =
-    let* b = byte t in
-    match b with
-    | 0 -> Ok false
-    | 1 -> Ok true
-    | b -> Error (Malformed (Printf.sprintf "bool byte %#x" b))
+    match byte t with
+    | Ok 0 -> Ok false
+    | Ok 1 -> Ok true
+    | Ok b -> Error (Malformed (Printf.sprintf "bool byte %#x" b))
+    | Error _ as e -> e
 
   let option dec t =
     let* b = byte t in
@@ -145,7 +160,7 @@ module Dec = struct
   let string t =
     let* len = uvarint t in
     let* len = check_len t len in
-    let s = String.sub t.data t.pos len in
+    let s = Bytes.sub_string t.data t.pos len in
     t.pos <- t.pos + len;
     Ok s
 

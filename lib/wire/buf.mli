@@ -54,6 +54,12 @@ module Dec : sig
       cursor on [Error]. *)
 
   val of_string : ?pos:int -> ?limit:int -> string -> t
+
+  val of_bytes : ?pos:int -> ?limit:int -> bytes -> t
+  (** Zero-copy cursor over a caller-owned byte window (e.g. a frame
+      decoder's buffer). The caller must not mutate
+      [data.[pos .. limit-1]] while the cursor is in use. *)
+
   val pos : t -> int
   val remaining : t -> int
 

@@ -21,37 +21,71 @@ let channel_of_byte = function
   | 1 -> Ok Tr_sim.Network.Cheap
   | b -> Error (Buf.Malformed (Printf.sprintf "channel byte %#x" b))
 
-let encode_envelope codec ~src ~channel msg =
-  let payload = Buffer.create 32 in
+let encode_payload codec payload ~src ~channel msg =
   Buf.Enc.uvarint payload codec.key;
   Buf.Enc.byte payload codec.version;
   Buf.Enc.uvarint payload src;
   Buf.Enc.byte payload (channel_byte channel);
-  codec.encode_msg payload msg;
+  codec.encode_msg payload msg
+
+(* One scratch pair per sending context: the payload is built first
+   (its length prefix must precede it on the wire), then framed into
+   [frame] by blitting Buffer-to-Buffer. Steady-state sends touch no
+   fresh buffers and produce no intermediate strings. *)
+type scratch = { payload : Buffer.t; frame : Buffer.t }
+
+let scratch () = { payload = Buffer.create 256; frame = Buffer.create 256 }
+
+let encode_frame scratch codec ~src ~channel msg =
+  Buffer.clear scratch.payload;
+  encode_payload codec scratch.payload ~src ~channel msg;
+  Buffer.clear scratch.frame;
+  Frame.encode_buffer scratch.frame scratch.payload;
+  scratch.frame
+
+let encode_envelope codec ~src ~channel msg =
+  let payload = Buffer.create 32 in
+  encode_payload codec payload ~src ~channel msg;
   Frame.to_string (Buffer.contents payload)
 
+(* Direct match chains, not [let*]: the bind operator costs a closure
+   per step, and this runs once per received frame. *)
 let decode_payload codec dec =
-  let open Buf.Dec in
-  let* key = uvarint dec in
-  if key <> codec.key then
-    Error
-      (Buf.Malformed
-         (Printf.sprintf "codec key %d, expected %d (%s)" key codec.key
-            codec.name))
-  else
-    let* v = byte dec in
-    if v <> codec.version then
+  match Buf.Dec.uvarint dec with
+  | Error _ as e -> e
+  | Ok key when key <> codec.key ->
       Error
         (Buf.Malformed
-           (Printf.sprintf "codec version %d, expected %d (%s)" v codec.version
+           (Printf.sprintf "codec key %d, expected %d (%s)" key codec.key
               codec.name))
-    else
-      let* src = uvarint dec in
-      let* cb = byte dec in
-      let* channel = channel_of_byte cb in
-      let* msg = codec.decode_msg dec in
-      let* () = expect_end dec in
-      Ok { src; channel; msg }
+  | Ok _ -> (
+      match Buf.Dec.byte dec with
+      | Error _ as e -> e
+      | Ok v when v <> codec.version ->
+          Error
+            (Buf.Malformed
+               (Printf.sprintf "codec version %d, expected %d (%s)" v
+                  codec.version codec.name))
+      | Ok _ -> (
+          match Buf.Dec.uvarint dec with
+          | Error _ as e -> e
+          | Ok src -> (
+              match Buf.Dec.byte dec with
+              | Error _ as e -> e
+              | Ok cb -> (
+                  match channel_of_byte cb with
+                  | Error _ as e -> e
+                  | Ok channel -> (
+                      match codec.decode_msg dec with
+                      | Error _ as e -> e
+                      | Ok msg -> (
+                          match Buf.Dec.expect_end dec with
+                          | Error _ as e -> e
+                          | Ok () -> Ok { src; channel; msg }))))))
 
 let decode_envelope codec payload =
   decode_payload codec (Buf.Dec.of_string payload)
+
+let decode_view codec (v : Frame.view) =
+  decode_payload codec
+    (Buf.Dec.of_bytes v.Frame.buf ~pos:v.Frame.off ~limit:(v.Frame.off + v.Frame.len))

@@ -28,12 +28,37 @@ type 'msg envelope = {
 
 val encode_envelope :
   'msg t -> src:int -> channel:Tr_sim.Network.channel -> 'msg -> string
-(** A complete frame (header included) ready for a transport. *)
+(** A complete frame (header included) ready for a transport. Allocates
+    per call; the hot path uses {!encode_frame} with a reused scratch. *)
+
+type scratch
+(** Reusable encode buffers (payload + frame). One per sending context;
+    not safe to share across domains. *)
+
+val scratch : unit -> scratch
+
+val encode_frame :
+  scratch ->
+  'msg t ->
+  src:int ->
+  channel:Tr_sim.Network.channel ->
+  'msg ->
+  Buffer.t
+(** Encode one complete frame into the scratch and return the buffer
+    holding it. The contents are only valid until the next
+    [encode_frame] on the same scratch — the transport blits them out
+    immediately ({!Transport.send_frame}). Steady-state calls allocate
+    nothing beyond what the message encoder itself allocates. *)
 
 val decode_envelope : 'msg t -> string -> ('msg envelope, Buf.error) result
 (** Decode one frame {e payload} (as produced by {!Frame.Decoder.next}).
     Never raises; trailing bytes, wrong codec key or version, and
     truncation all come back as [Error]. *)
+
+val decode_view : 'msg t -> Frame.view -> ('msg envelope, Buf.error) result
+(** As {!decode_envelope}, reading directly from a borrowed frame view
+    (no payload copy). The view must stay valid for the duration of the
+    call, which never outlives it. *)
 
 val decode_payload : 'msg t -> Buf.Dec.t -> ('msg envelope, Buf.error) result
 (** As {!decode_envelope}, over an existing cursor. *)

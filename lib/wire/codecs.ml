@@ -16,13 +16,16 @@ let ring =
     (fun b (Token { stamp }) ->
       Buf.Enc.byte b 0;
       Buf.Enc.int b stamp)
+    (* Match chains, not [let*]: the bind closure would allocate on
+       every token hop, and this is the loopback benchmark's message. *)
     (fun d ->
-      let* tag = byte d in
-      match tag with
-      | 0 ->
-          let* stamp = int d in
-          Ok (Token { stamp })
-      | t -> bad_tag "ring" t)
+      match byte d with
+      | Ok 0 -> (
+          match int d with
+          | Ok stamp -> Ok (Token { stamp })
+          | Error _ as e -> e)
+      | Ok t -> bad_tag "ring" t
+      | Error _ as e -> e)
 
 (* ---------------- tree ---------------- *)
 

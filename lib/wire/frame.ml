@@ -15,8 +15,26 @@ let to_string payload =
   encode buf payload;
   Buffer.contents buf
 
+(* Header + payload straight out of another Buffer — the scratch-encode
+   path builds the payload once and frames it with no intermediate
+   string. *)
+let encode_buffer buf payload =
+  let len = Buffer.length payload in
+  if len > max_payload then
+    invalid_arg "Wire.Frame.encode_buffer: payload too large";
+  Buffer.add_char buf (Char.chr magic);
+  Buffer.add_char buf (Char.chr version);
+  Buf.Enc.uvarint buf len;
+  Buffer.add_buffer buf payload
+
+type view = { buf : Bytes.t; off : int; len : int }
+
+let view_to_string { buf; off; len } = Bytes.sub_string buf off len
+
 module Decoder = struct
   type progress = Frame of string | Await | Skip of string
+
+  type view_progress = View of view | Await_view | Skip_view of string
 
   (* Unconsumed input lives in [buf.[start .. start+len-1]]; [feed]
      appends, [next] consumes from the front and compacts lazily. *)
@@ -94,34 +112,79 @@ module Decoder = struct
       incr skipped
     done;
     t.skips <- t.skips + 1;
-    Skip (Printf.sprintf "%s; skipped %d bytes" reason !skipped)
+    Printf.sprintf "%s; skipped %d bytes" reason !skipped
 
-  let next t =
-    if t.len = 0 then Await
-    else if peek t 0 <> magic then resync t "bad magic"
-    else if t.len < 2 then Await
+  (* The returned view aliases [t.buf]: [consume] only moves indices, so
+     the slice stays intact until the next [feed]/[feed_sub] (which may
+     compact or reallocate the buffer). *)
+  let next_view t =
+    if t.len = 0 then Await_view
+    else if peek t 0 <> magic then Skip_view (resync t "bad magic")
+    else if t.len < 2 then Await_view
     else
       let v = peek t 1 in
       match read_uvarint t 2 with
-      | Error `Await -> Await
-      | Error `Malformed -> resync t "malformed length varint"
+      | Error `Await -> Await_view
+      | Error `Malformed -> Skip_view (resync t "malformed length varint")
       | Ok (plen, used) ->
           (* A sign-overflowed varint decodes negative — treat it like
              any oversized declaration, never as an offset. *)
           if plen < 0 || plen > max_payload then
-            resync t (Printf.sprintf "declared payload %d exceeds cap" plen)
+            Skip_view
+              (resync t (Printf.sprintf "declared payload %d exceeds cap" plen))
           else begin
             let total = 2 + used + plen in
-            if t.len < total then Await
+            if t.len < total then Await_view
             else if v <> version then begin
               consume t total;
               t.skips <- t.skips + 1;
-              Skip (Printf.sprintf "unsupported frame version %d" v)
+              Skip_view (Printf.sprintf "unsupported frame version %d" v)
             end
             else begin
-              let payload = Bytes.sub_string t.buf (t.start + 2 + used) plen in
+              let off = t.start + 2 + used in
               consume t total;
-              Frame payload
+              View { buf = t.buf; off; len = plen }
             end
           end
+
+  let next t =
+    match next_view t with
+    | View v -> Frame (view_to_string v)
+    | Await_view -> Await
+    | Skip_view reason -> Skip reason
 end
+
+(* Length varint of a whole-string frame, packed as
+   [(plen lsl 4) lor bytes_used] so the hot path allocates nothing:
+   negative codes are errors (-1 malformed, -2 truncated, -3 payload
+   over cap). Packing is safe because plen is checked against
+   [max_payload] (24 bits) before shifting. *)
+let rec exact_varint buf len acc shift used =
+  if used >= 9 then -1
+  else if 2 + used >= len then -2
+  else
+    let b = Char.code (Bytes.unsafe_get buf (2 + used)) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then
+      if acc < 0 || acc > max_payload then -3 else (acc lsl 4) lor (used + 1)
+    else exact_varint buf len acc (shift + 7) (used + 1)
+
+(* Exactly one frame spanning the whole string — the loopback fast path,
+   where every mailbox entry is a single encoder-produced frame. The
+   view aliases [frame] without copying. *)
+let decode_exact frame =
+  let len = String.length frame in
+  let buf = Bytes.unsafe_of_string frame in
+  if len < 2 then Error "frame shorter than header"
+  else if Char.code (Bytes.unsafe_get buf 0) <> magic then Error "bad magic"
+  else if Char.code (Bytes.unsafe_get buf 1) <> version then
+    Error "unsupported frame version"
+  else
+    let code = exact_varint buf len 0 0 0 in
+    if code = -1 then Error "malformed length varint"
+    else if code = -2 then Error "truncated length varint"
+    else if code = -3 then Error "declared payload too long"
+    else
+      let used = code land 0xf and plen = code lsr 4 in
+      if 2 + used + plen <> len then Error "frame length mismatch"
+      else Ok { buf; off = 2 + used; len = plen }

@@ -26,8 +26,29 @@ val max_payload : int
 val encode : Buffer.t -> string -> unit
 (** Append one frame carrying the given payload. *)
 
+val encode_buffer : Buffer.t -> Buffer.t -> unit
+(** [encode_buffer buf payload] appends one frame whose payload is the
+    current contents of [payload], with no intermediate string — the
+    allocation-free send path pairs this with a reused scratch pair. *)
+
 val to_string : string -> string
 (** [to_string payload] is a single encoded frame. *)
+
+type view = { buf : Bytes.t; off : int; len : int }
+(** A borrowed slice [buf.[off .. off+len-1]] holding one frame payload.
+    Views alias buffers owned by a decoder (or by the string passed to
+    {!decode_exact}); they are only valid until the owner's next mutation
+    — for {!Decoder.next_view}, until the next [feed]. Copy out with
+    {!view_to_string} to keep a payload longer. *)
+
+val view_to_string : view -> string
+
+val decode_exact : string -> (view, string) result
+(** Parse a string that contains exactly one frame (header included) and
+    return a zero-copy view of its payload. Any framing defect — bad
+    magic or version, bad length varint, trailing or missing bytes — is
+    an [Error] with a diagnostic. This is the loopback fast path, where
+    each queued entry is one encoder-produced frame by construction. *)
 
 module Decoder : sig
   type t
@@ -39,10 +60,24 @@ module Decoder : sig
         (** Bytes were discarded (desync, oversized or unknown-version
             frame); the reason is diagnostic. Decoding continues. *)
 
+  type view_progress =
+    | View of view  (** One complete payload, borrowed from the buffer. *)
+    | Await_view
+    | Skip_view of string
+
   val create : unit -> t
   val feed : t -> string -> unit
   val feed_sub : t -> Bytes.t -> pos:int -> len:int -> unit
+
   val next : t -> progress
+  (** {!next_view} plus a payload copy — convenient, but the hot path
+      uses {!next_view} and decodes in place. *)
+
+  val next_view : t -> view_progress
+  (** Pull the next complete payload without copying it. The view is
+      invalidated by the next [feed]/[feed_sub] (decoding may compact or
+      grow the internal buffer); calling [next_view] again first is
+      fine. *)
 
   val skipped_events : t -> int
   (** Number of [Skip] results produced so far (decode-error counter). *)

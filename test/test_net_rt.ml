@@ -121,17 +121,22 @@ let test_live_regeneration () =
       | _ -> ()
   end in
   let config =
-    (* One shard and a 1 ms unit keep scheduling jitter far below the
-       protocol's ack/collect windows, and the sparse Poisson load
-       (mirroring the sim-side crash tests) keeps watch timers rare —
-       so the induced crash is the only recovery trigger and cascading
-       re-regenerations don't muddy the histories. *)
+    (* One shard and a 5 ms unit keep scheduling jitter far below the
+       protocol's ack window — the margin is ack_wait minus the 2-unit
+       hop+ack round trip, i.e. one unit of wall slack, and at 1 ms
+       units a single busy-box hiccup forged a spurious ack timeout
+       (peer marked dead, token duplicated) often enough to flake. The
+       sparse Poisson load (mirroring the sim-side crash tests) keeps
+       watch timers rare, so the induced crash is the only recovery
+       trigger and cascading re-regenerations don't muddy the
+       histories; 500 units comfortably covers kill (~25), watch
+       timeout (60) and post-regeneration circulation. *)
     {
       (Cluster.default_config ~n ~seed:3) with
-      unit_s = 1e-3;
+      unit_s = 5e-3;
       shards = 1;
       load = Cluster.Open_loop { mean_interarrival = 10.0 };
-      stop = Cluster.Duration 1200.0;
+      stop = Cluster.Duration 500.0;
     }
   in
   let report =
@@ -215,12 +220,15 @@ let test_live_failsafe_search_regeneration () =
     | _ -> ()
   in
   let config =
+    (* Same 5 ms unit as the ring-failsafe test above: the ack window
+       leaves one unit of wall slack, and 1 ms units let scheduling
+       hiccups forge ack timeouts that mark live peers dead. *)
     {
       (Cluster.default_config ~n ~seed:9) with
-      unit_s = 1e-3;
+      unit_s = 5e-3;
       shards = 1;
       load = Cluster.Open_loop { mean_interarrival = 10.0 };
-      stop = Cluster.Duration 1200.0;
+      stop = Cluster.Duration 500.0;
     }
   in
   let report =
@@ -283,6 +291,111 @@ let test_unix_sockets_cluster () =
       Alcotest.(check bool) "grants reached" true (report.Cluster.grants >= 60);
       Alcotest.(check int) "zero decode errors" 0 report.Cluster.decode_errors;
       Alcotest.(check string) "backend" "unix" report.Cluster.backend)
+
+(* ---------------- loopback golden guard ---------------- *)
+
+(* Semantic byte-identity of the live loopback runtime across I/O
+   rewrites, in the same spirit as test/golden/: a single-shard
+   closed-loop run's processed-message sequence is deterministic (ring
+   and binsearch use no timers, all channels share the one-unit hop
+   delay, and a single shard processes deliveries in due-time order =
+   emission order), so the tap log must match a committed golden file.
+
+   Two guards against wall-clock jitter: the unit scale is far above
+   scheduling noise, and only the first [keep] lines are compared — the
+   tail after the stop condition fires depends on how many in-flight
+   messages the final iteration drains, which is timing-sensitive.
+
+   Regenerate with TR_LIVE_GOLDEN_REGEN=<dir> (writes <dir>/<file>
+   instead of comparing). *)
+
+let live_log_config ~n ~seed ~unit_s ~grants =
+  {
+    (Cluster.default_config ~n ~seed) with
+    unit_s;
+    shards = 1;
+    load = Cluster.Closed_loop { depth = 1 };
+    stop = Cluster.Grants grants;
+    max_wall_s = 30.0;
+  }
+
+let capture_live_log (type m) ~(protocol : (module Tr_sim.Node_intf.PROTOCOL
+                                              with type msg = m))
+    ~(codec : m Tr_wire.Codec.t) ~(render : m -> string)
+    ?(filter = fun _ -> true) ~config ~keep () =
+  let mu = Mutex.create () in
+  let log = ref [] in
+  let count = ref 0 in
+  let tap _control ~self msg =
+    Mutex.lock mu;
+    (if !count < keep then
+       let line = Printf.sprintf "%d %s" self (render msg) in
+       if filter line then begin
+         log := line :: !log;
+         incr count
+       end);
+    Mutex.unlock mu
+  in
+  let report = Cluster.run ~tap config protocol codec in
+  Alcotest.(check int) "zero decode errors" 0 report.Cluster.decode_errors;
+  Alcotest.(check bool) "no frames dropped" true
+    (report.Cluster.frames_dropped = 0);
+  String.concat "\n" (List.rev !log) ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_live_golden ~file log =
+  match Sys.getenv_opt "TR_LIVE_GOLDEN_REGEN" with
+  | Some dir ->
+      let oc = open_out_bin (Filename.concat dir file) in
+      output_string oc log;
+      close_out oc
+  | None -> Alcotest.(check string) file (read_file ("golden/" ^ file)) log
+
+let test_golden_live_ring () =
+  let log =
+    capture_live_log
+      ~protocol:(module Tr_proto.Ring)
+      ~codec:Codecs.ring
+      ~render:(fun (Tr_proto.Ring.Token { stamp }) ->
+        Printf.sprintf "T %d" stamp)
+      ~config:(live_log_config ~n:8 ~seed:21 ~unit_s:1e-3 ~grants:80)
+      ~keep:64 ()
+  in
+  check_live_golden ~file:"live_ring_n8_seed21.txt" log
+
+let test_golden_live_binsearch () =
+  let render msg =
+    let open Tr_proto.Binsearch in
+    match msg with
+    | Token { stamp } -> Printf.sprintf "T %d" stamp
+    | Loan { stamp } -> Printf.sprintf "L %d" stamp
+    | Return { stamp } -> Printf.sprintf "R %d" stamp
+    | Gimme { requester; span; stamp } ->
+        Printf.sprintf "G %d %d %d" requester span stamp
+  in
+  (* Binsearch floods Gimme requests from several nodes concurrently;
+     their relative arrival order carries wall-clock jitter even at a
+     4 ms unit. Token movement and the Loan/Return chain are serialized
+     by the unique token, so that subsequence is the deterministic
+     semantic core — verified identical across 8 repeat runs. *)
+  let filter line =
+    match String.index_opt line ' ' with
+    | Some i -> i + 1 < String.length line && line.[i + 1] <> 'G'
+    | None -> false
+  in
+  let log =
+    capture_live_log
+      ~protocol:(module (val Tr_proto.Binsearch.make ()))
+      ~codec:Codecs.binsearch ~render ~filter
+      ~config:(live_log_config ~n:8 ~seed:21 ~unit_s:4e-3 ~grants:60)
+      ~keep:40 ()
+  in
+  check_live_golden ~file:"live_binsearch_n8_seed21.txt" log
 
 (* ---------------- delay-model validation ---------------- *)
 
@@ -353,6 +466,13 @@ let () =
       ( "sockets",
         [ Alcotest.test_case "unix-domain cluster" `Quick
             test_unix_sockets_cluster ] );
+      ( "golden",
+        [
+          Alcotest.test_case "loopback ring token sequence" `Quick
+            test_golden_live_ring;
+          Alcotest.test_case "loopback binsearch message sequence" `Quick
+            test_golden_live_binsearch;
+        ] );
       ( "network-validation",
         [
           Alcotest.test_case "delay models" `Quick test_network_validation;

@@ -341,6 +341,86 @@ let prop_resync_recovers =
       | Some (Tr_proto.Ring.Token { stamp }) :: _ -> stamp = s1
       | _ -> false)
 
+(* ---------------- adversarial chunking ---------------- *)
+
+(* A multi-frame stream must decode to the same frame sequence no matter
+   how the transport fragments it: byte-at-a-time feeds, splits that
+   straddle the length varint, and coalesced chunks carrying several
+   frames at once all exercise different decoder resume points. Views
+   are borrowed (valid only until the next feed), so each feed's yield
+   is materialised before the next chunk goes in. *)
+let drain_views dec acc =
+  let rec go acc =
+    match Frame.Decoder.next_view dec with
+    | Frame.Decoder.View v -> go (Frame.view_to_string v :: acc)
+    | Frame.Decoder.Skip_view _ -> go acc
+    | Frame.Decoder.Await_view -> acc
+  in
+  go acc
+
+let chunk_plan_gen stream_len =
+  (* Cut positions characterise the chunking, whatever the strategy:
+     0 cuts = the whole stream coalesced into one chunk. *)
+  let open QCheck.Gen in
+  if stream_len <= 1 then return []
+  else
+    oneof
+      [
+        (* one-byte feeds: cut everywhere *)
+        return (List.init (stream_len - 1) (fun i -> i + 1));
+        (* coalesced: a handful of cuts, so chunks span whole frames *)
+        ( list_size (int_range 0 3) (int_range 1 (stream_len - 1))
+        >|= fun cuts -> List.sort_uniq compare cuts );
+        (* fine-grained: many cuts, guaranteed to straddle the 2-byte
+           header and the length varint of most frames *)
+        ( list_size (int_range stream_len (2 * stream_len))
+            (int_range 1 (stream_len - 1))
+        >|= fun cuts -> List.sort_uniq compare cuts );
+      ]
+
+let prop_chunking_invariance =
+  let case_gen =
+    let open QCheck.Gen in
+    list_size (int_range 1 8)
+      (triple (int_range 0 10_000) channel_gen binsearch_gen)
+    >>= fun msgs ->
+    let frames =
+      List.map
+        (fun (src, channel, msg) ->
+          Codec.encode_envelope Codecs.binsearch ~src ~channel msg)
+        msgs
+    in
+    let stream = String.concat "" frames in
+    chunk_plan_gen (String.length stream) >|= fun cuts -> (frames, stream, cuts)
+  in
+  QCheck.Test.make ~name:"chunking does not change the decoded stream"
+    ~count:400 (QCheck.make case_gen)
+    (fun (frames, stream, cuts) ->
+      (* Reference: each frame fed whole, one at a time. *)
+      let reference =
+        let dec = Frame.Decoder.create () in
+        List.concat_map
+          (fun f ->
+            Frame.Decoder.feed dec f;
+            List.rev (drain_views dec []))
+          frames
+      in
+      (* Adversarial: the same bytes under the generated chunking. *)
+      let adversarial =
+        let dec = Frame.Decoder.create () in
+        let bounds = cuts @ [ String.length stream ] in
+        let got, _ =
+          List.fold_left
+            (fun (acc, prev) cut ->
+              Frame.Decoder.feed dec (String.sub stream prev (cut - prev));
+              (drain_views dec acc, cut))
+            ([], 0) bounds
+        in
+        List.rev got
+      in
+      reference = adversarial
+      && List.length reference = List.length frames)
+
 (* ---------------- directed cases ---------------- *)
 
 let test_wrong_codec_key () =
@@ -426,6 +506,7 @@ let () =
             prop_garbage_never_raises;
             prop_resync_recovers;
           ] );
+      ("chunking", qsuite [ prop_chunking_invariance ]);
       ( "framing",
         [
           Alcotest.test_case "wrong codec key" `Quick test_wrong_codec_key;
