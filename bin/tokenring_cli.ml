@@ -476,7 +476,29 @@ let own_arg =
            all N nodes; give disjoint subsets to split one cluster across \
            processes.")
 
-let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration =
+let readiness_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "readiness" ] ~docv:"BACKEND"
+        ~doc:
+          "Force the socket readiness backend: epoll, poll or select. \
+           Default picks the best available (TR_READINESS also honoured).")
+
+let pin_arg =
+  Arg.(
+    value & flag
+    & info [ "pin" ]
+        ~doc:"Pin each shard domain to one CPU core (sched_setaffinity).")
+
+let parse_readiness = function
+  | None -> None
+  | Some s -> (
+      match Tr_net_rt.Readiness.backend_of_string s with
+      | Ok b -> Some b
+      | Error e -> die "--readiness: %s" e)
+
+let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration
+    ~readiness ~pin =
   if n < 1 then die "need at least one node";
   let stop =
     match grants with
@@ -484,7 +506,15 @@ let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration =
     | None -> Cluster.Duration duration
   in
   let config =
-    { (Cluster.default_config ~n ~seed) with unit_s; load; stop; max_wall_s }
+    {
+      (Cluster.default_config ~n ~seed) with
+      unit_s;
+      load;
+      stop;
+      max_wall_s;
+      readiness = parse_readiness readiness;
+      pin_cores = pin;
+    }
   in
   if shards > 0 then { config with shards } else config
 
@@ -523,13 +553,13 @@ let run_live ?backend config packed =
 
 let serve_cmd =
   let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
-      duration =
+      duration readiness pin =
     if uds = None && tcp_base = None then
       die "serve needs a socket backend: --uds DIR or --tcp-base PORT";
     let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
     let config =
       live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load:Cluster.No_load
-        ~grants ~duration
+        ~grants ~duration ~readiness ~pin
     in
     let report = run_live ?backend config (find_packed protocol) in
     print_string (Live_export.json_of_report report)
@@ -542,13 +572,13 @@ let serve_cmd =
     Term.(
       const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
       $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
-      $ grants_stop_arg $ duration_arg)
+      $ grants_stop_arg $ duration_arg $ readiness_arg $ pin_arg)
 
 (* ---------------- loadgen ---------------- *)
 
 let loadgen_cmd =
   let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
-      duration closed open_mean =
+      duration closed open_mean readiness pin =
     let load =
       match (closed, open_mean) with
       | Some _, Some _ -> die "choose one of --closed and --open"
@@ -559,7 +589,7 @@ let loadgen_cmd =
     let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
     let config =
       live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load ~grants
-        ~duration
+        ~duration ~readiness ~pin
     in
     let report = run_live ?backend config (find_packed protocol) in
     print_string (Live_export.json_of_report report)
@@ -585,16 +615,33 @@ let loadgen_cmd =
     Term.(
       const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
       $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
-      $ grants_stop_arg $ duration_arg $ closed $ open_mean)
+      $ grants_stop_arg $ duration_arg $ closed $ open_mean $ readiness_arg
+      $ pin_arg)
 
 (* ---------------- cluster-bench ---------------- *)
 
+(* The fork/aggregate machinery lives in Cluster.run_fleet; the CLI only
+   validates, launches and prints. *)
+let run_fleet ~procs ~addrs ~config packed =
+  match Cluster.run_fleet ~procs ~addrs config packed with
+  | lines -> lines
+  | exception Failure msg -> die "%s" msg
+
 let cluster_bench_cmd =
-  let run protocols ns_spec seed grants mean unit_s shards max_wall json =
+  let run protocols ns_spec seed grants mean closed unit_s shards max_wall json
+      uds procs readiness pin duration =
     let protocols = if protocols = [] then [ "ring"; "binsearch" ] else protocols in
     let ns = parse_id_ranges ns_spec in
     if ns = [] then die "empty -N sweep";
+    if procs < 1 then die "--procs must be >= 1";
+    if procs > 1 && uds = None then die "--procs needs --uds";
+    if procs > 1 && json then die "--json is per-process; not available with --procs";
     List.iter (fun p -> ignore (find_packed p)) protocols;
+    let load =
+      match closed with
+      | Some depth -> Cluster.Closed_loop { depth }
+      | None -> Cluster.Open_loop { mean_interarrival = mean }
+    in
     let reports = ref [] in
     let rows =
       List.map
@@ -602,23 +649,105 @@ let cluster_bench_cmd =
           let values =
             List.map
               (fun protocol ->
-                let config =
+                let mk_config ~grants ~duration =
                   live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall
-                    ~load:(Cluster.Open_loop { mean_interarrival = mean })
-                    ~grants:(Some grants) ~duration:0.0
+                    ~load ~grants ~duration ~readiness ~pin
                 in
-                let report = run_live config (find_packed protocol) in
-                reports := report :: !reports;
-                if report.Cluster.decode_errors > 0 then
-                  die "%s n=%d: %d decode errors" protocol n
-                    report.Cluster.decode_errors;
-                Format.eprintf "bench %-12s n=%3d: %5d grants, resp %8.2f, %.1fs wall@."
-                  protocol n report.Cluster.grants
-                  (Tr_stats.Summary.mean
-                     (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
-                  report.Cluster.wall_s;
-                Tr_stats.Summary.mean
-                  (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
+                let backend_desc dir =
+                  Printf.sprintf "unix[%s]"
+                    (match parse_readiness readiness with
+                    | Some b -> Tr_net_rt.Readiness.backend_name b
+                    | None -> "auto")
+                  ^ if procs > 1 then Printf.sprintf " procs=%d" procs else ""
+                  |> fun s -> ignore dir; s
+                in
+                match uds with
+                | Some dir when procs > 1 ->
+                    (* Fleet: fixed duration, grants summed after the fact. *)
+                    let config = mk_config ~grants:None ~duration in
+                    let addrs = Live_transport.uds_addrs ~dir ~n in
+                    let lines =
+                      run_fleet ~procs ~addrs ~config (find_packed protocol)
+                    in
+                    if List.length lines < procs then
+                      die "%s n=%d: only %d/%d fleet children reported"
+                        protocol n (List.length lines) procs;
+                    let total_grants =
+                      List.fold_left (fun a l -> a + l.Cluster.m_grants) 0 lines
+                    in
+                    let decode_errors =
+                      List.fold_left
+                        (fun a l -> a + l.Cluster.m_decode_errors)
+                        0 lines
+                    in
+                    if decode_errors > 0 then
+                      die "%s n=%d: %d decode errors" protocol n decode_errors;
+                    let wall =
+                      List.fold_left
+                        (fun a l -> Float.max a l.Cluster.m_wall_s)
+                        0.0 lines
+                    in
+                    let resp =
+                      if total_grants = 0 then Float.nan
+                      else
+                        List.fold_left
+                          (fun a l ->
+                            if Float.is_nan l.Cluster.m_resp_mean then a
+                            else
+                              a
+                              +. l.Cluster.m_resp_mean
+                                 *. float_of_int l.Cluster.m_grants)
+                          0.0 lines
+                        /. float_of_int total_grants
+                    in
+                    let waits =
+                      List.fold_left (fun a l -> a + l.Cluster.m_wait_calls) 0 lines
+                    in
+                    let fds =
+                      List.fold_left
+                        (fun a l -> a + l.Cluster.m_fds_registered)
+                        0 lines
+                    in
+                    Format.eprintf
+                      "bench %-12s n=%5d %s: %7d grants, %8.0f grants/s, resp \
+                       %8.2f, %.1fs wall, %d waits, %d fds@."
+                      protocol n (backend_desc dir) total_grants
+                      (float_of_int total_grants /. Float.max 1e-9 wall)
+                      resp wall waits fds;
+                    resp
+                | _ ->
+                    let config = mk_config ~grants:(Some grants) ~duration:0.0 in
+                    let backend =
+                      match uds with
+                      | None -> None
+                      | Some dir ->
+                          Some
+                            (Cluster.Sockets
+                               {
+                                 owned = List.init n Fun.id;
+                                 addrs = Live_transport.uds_addrs ~dir ~n;
+                               })
+                    in
+                    let report = run_live ?backend config (find_packed protocol) in
+                    reports := report :: !reports;
+                    if report.Cluster.decode_errors > 0 then
+                      die "%s n=%d: %d decode errors" protocol n
+                        report.Cluster.decode_errors;
+                    Format.eprintf
+                      "bench %-12s n=%5d %s/%s: %7d grants, %8.0f grants/s, \
+                       resp %8.2f, %.1fs wall, %d waits, %d fds, %.1f \
+                       ready/wait@."
+                      protocol n report.Cluster.backend
+                      report.Cluster.readiness report.Cluster.grants
+                      (float_of_int report.Cluster.grants
+                      /. Float.max 1e-9 report.Cluster.wall_s)
+                      (Tr_stats.Summary.mean
+                         (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
+                      report.Cluster.wall_s report.Cluster.wait_calls
+                      report.Cluster.fds_registered
+                      report.Cluster.avg_ready_per_wait;
+                    Tr_stats.Summary.mean
+                      (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
               protocols
           in
           (float_of_int n, values))
@@ -631,8 +760,15 @@ let cluster_bench_cmd =
     else begin
       (* FIG9-schema CSV, stamped with provenance comment lines. *)
       Printf.printf "# live cluster-bench: mean responsiveness (time units) vs N\n";
-      Printf.printf "# protocols=%s seed=%d grants=%d open-mean=%g unit=%g backend=loopback git=%s\n"
-        (String.concat "+" protocols) seed grants mean unit_s
+      Printf.printf
+        "# protocols=%s seed=%d grants=%d load=%s unit=%g backend=%s procs=%d git=%s\n"
+        (String.concat "+" protocols) seed grants
+        (match closed with
+        | Some d -> Printf.sprintf "closed:%d" d
+        | None -> Printf.sprintf "open:%g" mean)
+        unit_s
+        (if uds = None then "loopback" else "unix")
+        procs
         (Live_export.git_describe ());
       print_string (Live_export.csv_of_table ~x_label:"n" ~cols:protocols rows)
     end
@@ -658,23 +794,50 @@ let cluster_bench_cmd =
       value & opt float 10.0
       & info [ "open" ] ~docv:"MEAN" ~doc:"Poisson mean interarrival (units).")
   in
+  let closed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "closed" ] ~docv:"DEPTH"
+          ~doc:
+            "Closed-loop load instead of open-loop: keep DEPTH requests \
+             outstanding per node (the saturation mode for high-N socket \
+             sweeps).")
+  in
   let bench_unit =
     Arg.(
       value & opt float 5e-4
       & info [ "unit" ] ~docv:"S" ~doc:"Wall seconds per time unit.")
   in
+  let procs =
+    Arg.(
+      value & opt int 1
+      & info [ "procs" ] ~docv:"P"
+          ~doc:
+            "Fork P processes, each hosting a contiguous slice of the \
+             cluster over --uds sockets; all run --duration wall units and \
+             grants are summed (needs --uds).")
+  in
+  let bench_duration =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "duration" ] ~docv:"T"
+          ~doc:"Run length in time units for --procs fleet mode.")
+  in
   Cmd.v
     (Cmd.info "cluster-bench"
        ~doc:
-         "Sweep live loopback clusters over N and emit the paper's \
-          figure-9 comparison (ring O(N) vs delegated binsearch O(log N)) \
-          as stamped CSV, or per-run JSON reports with --json")
+         "Sweep live clusters over N (in-process loopback by default, \
+          --uds for real sockets, --procs for a multi-process fleet) and \
+          emit the paper's figure-9 comparison (ring O(N) vs delegated \
+          binsearch O(log N)) as stamped CSV, or per-run JSON reports with \
+          --json")
     Term.(
-      const run $ protocols $ ns_spec $ seed $ grants $ mean $ bench_unit
-      $ shards_arg $ max_wall_arg
+      const run $ protocols $ ns_spec $ seed $ grants $ mean $ closed
+      $ bench_unit $ shards_arg $ max_wall_arg
       $ Arg.(
           value & flag
-          & info [ "json" ] ~doc:"Emit one JSON report per run instead of CSV."))
+          & info [ "json" ] ~doc:"Emit one JSON report per run instead of CSV.")
+      $ uds_arg $ procs $ readiness_arg $ pin_arg $ bench_duration)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -18,6 +18,8 @@ type config = {
   load : load;
   stop : stop;
   max_wall_s : float;
+  pin_cores : bool;
+  readiness : Readiness.backend option;
 }
 
 let default_shards n = Stdlib.min n (Stdlib.max 2 (Domain.recommended_domain_count ()))
@@ -33,6 +35,8 @@ let default_config ~n ~seed =
     load = No_load;
     stop = Duration 1000.0;
     max_wall_s = 60.0;
+    pin_cores = false;
+    readiness = None;
   }
 
 type control = {
@@ -46,6 +50,7 @@ type report = {
   n : int;
   seed : int;
   backend : string;
+  readiness : string;
   unit_s : float;
   shards : int;
   wall_s : float;
@@ -60,6 +65,9 @@ type report = {
   frames_dropped : int;
   write_syscalls : int;
   read_syscalls : int;
+  wait_calls : int;
+  fds_registered : int;
+  avg_ready_per_wait : float;
   metrics : Metrics.t;
 }
 
@@ -114,9 +122,32 @@ let run (type m) ?tap ?(backend = Loopback) config
     | Loopback -> (Transport.loopback ~clock ~n, List.init n Fun.id)
     | Sockets { owned; addrs } ->
         if owned = [] then invalid_arg "Cluster.run: no nodes to host";
-        (Transport.sockets ~clock ~n ~owned ~addrs, List.sort_uniq compare owned)
+        ( Transport.sockets ?readiness:config.readiness ~clock ~n ~owned ~addrs
+            (),
+          List.sort_uniq compare owned )
   in
   let owned_arr = Array.of_list owned in
+  let n_owned = Array.length owned_arr in
+  let use_poll = Transport.poll_driven transport in
+  (* The shard layout is fixed before any protocol code runs so the ctx
+     closures (set_timer, serve) can address their shard's structures
+     directly. *)
+  let shards = Stdlib.min config.shards n_owned in
+  let shard_of = Array.make n (-1) in
+  Array.iteri (fun idx i -> shard_of.(i) <- idx mod shards) owned_arr;
+  (* Socket-shard plumbing: a wake pipe (riding in the shard's readiness
+     set), an activation mailbox (which nodes to step next — the shard
+     never scans its full node list), and a timer index heap (earliest
+     due time per armed timer, so an idle shard knows exactly how long
+     to sleep). Entries in the index may be stale after a cancel; the
+     cost is one spurious activation, never a missed timer. *)
+  let wakes = if use_poll then Array.init shards (fun _ -> Wakeup.create ()) else [||] in
+  let act_inbox : int Mailbox.t array =
+    if use_poll then Array.init shards (fun _ -> Mailbox.create ()) else [||]
+  in
+  let timer_index : int Pqueue.t array =
+    if use_poll then Array.init shards (fun _ -> Pqueue.create ()) else [||]
+  in
   let metrics = Metrics.create ~n in
   let mu = Mutex.create () in
   let with_mu f =
@@ -126,14 +157,24 @@ let run (type m) ?tap ?(backend = Loopback) config
   let stop_flag = Atomic.make false in
   let alive = Array.init n (fun _ -> Atomic.make true) in
   let failure_box : exn option Atomic.t = Atomic.make None in
-  (* Socket shards sleep in [select]; these hooks (filled in once the
-     shard layout is known) poke their wake pipes so a stop request or a
-     cross-shard load injection is seen immediately, not at a timeout. *)
-  let wake_all = ref (fun () -> ()) in
-  let wake_node = ref (fun (_ : int) -> ()) in
+  let wake_all () = Array.iter Wakeup.wake wakes in
   let signal_stop () =
     Atomic.set stop_flag true;
-    !wake_all ()
+    wake_all ()
+  in
+  (* Cross-shard activation: queue the node and poke the shard's pipe
+     (level-triggered: a byte written before the shard enters its wait
+     still wakes it). *)
+  let wake_node i =
+    if use_poll && i >= 0 && i < n && shard_of.(i) >= 0 then begin
+      Mailbox.push act_inbox.(shard_of.(i)) i;
+      Wakeup.wake wakes.(shard_of.(i))
+    end
+  in
+  (* Same-shard activation (a serve re-arming its own node): the shard
+     drains its mailbox before every sleep, so no pipe write is needed. *)
+  let note_local i =
+    if use_poll && shard_of.(i) >= 0 then Mailbox.push act_inbox.(shard_of.(i)) i
   in
   (* Timer plumbing, index-addressed so ctx closures need no [rt]. *)
   let timers = Array.init n (fun _ -> Pqueue.create ()) in
@@ -171,9 +212,9 @@ let run (type m) ?tap ?(backend = Loopback) config
     let set_timer ~delay ~key =
       if delay < 0.0 then invalid_arg "Cluster: negative timer delay";
       if key < 0 then invalid_arg "Cluster: negative timer key";
-      Pqueue.push timers.(node)
-        ~time:(Clock.now clock +. delay)
-        (key, current_epoch ~node ~key)
+      let at = Clock.now clock +. delay in
+      Pqueue.push timers.(node) ~time:at (key, current_epoch ~node ~key);
+      if use_poll then Pqueue.push timer_index.(shard_of.(node)) ~time:at node
     in
     let cancel_timers ~key =
       if key < 0 then invalid_arg "Cluster: negative timer key";
@@ -196,7 +237,8 @@ let run (type m) ?tap ?(backend = Loopback) config
           (* Re-arm through the mailbox so the protocol handler finishes
              before the next on_request fires (the simulator queues the
              re-request as an event for the same reason). *)
-          Mailbox.push req_inbox.(node) (Clock.now clock)
+          Mailbox.push req_inbox.(node) (Clock.now clock);
+          note_local node
       | _ -> ());
       match config.stop with
       | Grants k -> if grants >= k then signal_stop ()
@@ -257,7 +299,7 @@ let run (type m) ?tap ?(backend = Loopback) config
             | _ ->
                 let pick = List.nth live (Rng.int rng (List.length live)) in
                 Mailbox.push req_inbox.(pick) !next;
-                !wake_node pick);
+                wake_node pick);
             next := !next +. Rng.exponential rng ~mean:mean_interarrival
           done
         in
@@ -334,57 +376,21 @@ let run (type m) ?tap ?(backend = Loopback) config
         in
         match Transport.next_due transport ~owner:rt.id with
         | Some t -> Float.min acc t
-        | None ->
-            (* Loopback with an empty queue has nothing due (new frames
-               are bounded by the idle cap); socket arrivals surface as
-               fd readiness in [Transport.wait], not as due times. *)
-            acc)
+        | None -> acc)
       infinity shard_rts
   in
-  let shards = Stdlib.min config.shards (List.length rts) in
-  let shard_nodes =
+  let shard_rts =
     List.init shards (fun s ->
-        List.filteri (fun idx _ -> idx mod shards = s) rts)
+        List.filter (fun rt -> shard_of.(rt.id) = s) rts)
   in
-  (* Readiness plumbing for socket shards: each shard sleeps in a
-     [select] over its nodes' descriptors plus a wake pipe. Anyone
-     setting the stop flag or injecting cross-shard load writes the pipe
-     (level-triggered: a byte written before the shard enters [select]
-     still wakes it), so there is no polling cadence to tune. *)
-  let use_select = Transport.poll_driven transport in
-  let wakes =
-    if use_select then
-      Array.init shards (fun _ ->
-          let r, w = Unix.pipe () in
-          Unix.set_nonblock r;
-          Unix.set_nonblock w;
-          (r, w))
-    else [||]
+  let pin shard =
+    if config.pin_cores then ignore (Readiness.pin_cpu (shard mod Readiness.ncpus ()))
   in
-  let shard_of = Array.make n (-1) in
-  List.iteri
-    (fun s nodes -> List.iter (fun rt -> shard_of.(rt.id) <- s) nodes)
-    shard_nodes;
-  let wake_byte = Bytes.make 1 '!' in
-  let wake_write fd =
-    try ignore (Unix.write fd wake_byte 0 1)
-    with Unix.Unix_error _ -> ()
-  in
-  if use_select then begin
-    (wake_all := fun () -> Array.iter (fun (_, w) -> wake_write w) wakes);
-    wake_node :=
-      fun i ->
-        if i >= 0 && i < n && shard_of.(i) >= 0 then
-          wake_write (snd wakes.(shard_of.(i)))
-  end;
-  let shard_loop ~lead ~shard shard_rts () =
-    let my_ids = List.map (fun rt -> rt.id) shard_rts in
-    let drain_buf = Bytes.create 64 in
-    let rec drain_wake fd =
-      match Unix.read fd drain_buf 0 (Bytes.length drain_buf) with
-      | k -> if k = Bytes.length drain_buf then drain_wake fd
-      | exception Unix.Unix_error _ -> ()
-    in
+  (* Loopback shard loop: deliveries carry due times ([next_due] is
+     authoritative), so each pass steps every node and naps to the next
+     event, capped so cross-domain surprises are noticed promptly. *)
+  let loopback_loop ~lead ~shard shard_rts () =
+    pin shard;
     try
       while not (Atomic.get stop_flag) do
         if Clock.elapsed_wall clock > config.max_wall_s then signal_stop ()
@@ -406,26 +412,94 @@ let run (type m) ?tap ?(backend = Loopback) config
               | None -> next
             else next
           in
-          if not (Atomic.get stop_flag) then
-            if use_select then begin
-              (* Block until a socket or the wake pipe is ready; timers
-                 bound the sleep. [Transport.wait] caps the timeout as a
-                 lost-wakeup safety net. *)
-              let timeout_s =
-                if next = infinity then infinity
-                else Float.max 0.0 ((next -. now2) *. config.unit_s)
-              in
-              if timeout_s > 0.0 then begin
-                let wake_r, _ = wakes.(shard) in
-                Transport.wait transport ~extra_fds:[ wake_r ] ~owners:my_ids
-                  ~timeout_s ();
-                drain_wake wake_r
-              end
-            end
-            else begin
-              let target = Float.min (now2 +. idle_cap_units) next in
-              if target > now2 then Clock.sleep_until clock target
-            end
+          if not (Atomic.get stop_flag) then begin
+            let target = Float.min (now2 +. idle_cap_units) next in
+            if target > now2 then Clock.sleep_until clock target
+          end
+        end
+      done
+    with e ->
+      ignore (Atomic.compare_and_set failure_box None (Some e));
+      signal_stop ()
+  in
+  (* Socket shard loop, active-set form: the shard steps only nodes
+     something happened to — a ready descriptor (reported by
+     [Transport.wait] through [on_ready]), an activation queued by
+     another shard, or a due timer from the index heap. Idle nodes cost
+     nothing per iteration, which is what lets one shard carry 10k+ of
+     them. *)
+  let sockets_loop ~lead ~shard shard_rts () =
+    pin shard;
+    let wake = wakes.(shard) in
+    let inbox = act_inbox.(shard) in
+    let tindex = timer_index.(shard) in
+    let my_ids = List.map (fun rt -> rt.id) shard_rts in
+    let rt_of = Hashtbl.create (Stdlib.max 16 (List.length shard_rts)) in
+    List.iter (fun rt -> Hashtbl.replace rt_of rt.id rt) shard_rts;
+    let on_q = Array.make n false in
+    let q = Queue.create () in
+    let activate i =
+      if i >= 0 && i < n && not on_q.(i) then begin
+        on_q.(i) <- true;
+        Queue.add i q
+      end
+    in
+    (* First pass sweeps everything: init sends are still unflushed. *)
+    List.iter activate my_ids;
+    try
+      while not (Atomic.get stop_flag) do
+        if Clock.elapsed_wall clock > config.max_wall_s then signal_stop ()
+        else begin
+          let now_u = Clock.now clock in
+          if lead then begin
+            (match config.stop with
+            | Duration d -> if now_u >= d then signal_stop ()
+            | Grants _ -> ());
+            match open_loop with Some (pump, _) -> pump now_u | None -> ()
+          end;
+          (* Drain the wake pipe to EAGAIN before stepping: a burst of
+             wakes must not leave stale readability that would turn
+             every later wait into a spin. *)
+          Wakeup.drain wake;
+          List.iter activate (Mailbox.drain inbox);
+          while
+            match Pqueue.peek_time tindex with
+            | Some t -> t <= now_u
+            | None -> false
+          do
+            activate (Pqueue.pop_exn tindex)
+          done;
+          while not (Queue.is_empty q) do
+            let i = Queue.pop q in
+            on_q.(i) <- false;
+            match Hashtbl.find_opt rt_of i with
+            | Some rt -> step_node rt now_u
+            | None -> ()
+          done;
+          if not (Atomic.get stop_flag) then begin
+            let now2 = Clock.now clock in
+            let next =
+              match Pqueue.peek_time tindex with
+              | Some t -> t
+              | None -> infinity
+            in
+            let next =
+              if lead then
+                match open_loop with
+                | Some (_, next_at) -> Float.min next !next_at
+                | None -> next
+              else next
+            in
+            let timeout_s =
+              if not (Mailbox.is_empty inbox) then 0.0
+              else if next = infinity then infinity
+              else Float.max 0.0 ((next -. now2) *. config.unit_s)
+            in
+            Transport.wait transport
+              ~extra_fds:[ Wakeup.read_fd wake ]
+              ~on_ready:activate ~owners:my_ids ~timeout_s ();
+            Wakeup.drain wake
+          end
         end
       done
     with e ->
@@ -434,23 +508,23 @@ let run (type m) ?tap ?(backend = Loopback) config
   in
   let domains =
     List.mapi
-      (fun s nodes -> Domain.spawn (shard_loop ~lead:(s = 0) ~shard:s nodes))
-      shard_nodes
+      (fun s nodes ->
+        let loop = if use_poll then sockets_loop else loopback_loop in
+        Domain.spawn (loop ~lead:(s = 0) ~shard:s nodes))
+      shard_rts
   in
   List.iter Domain.join domains;
-  Array.iter
-    (fun (r, w) ->
-      (try Unix.close r with Unix.Unix_error _ -> ());
-      try Unix.close w with Unix.Unix_error _ -> ())
-    wakes;
+  Array.iter Wakeup.close wakes;
   Transport.close transport;
   (match Atomic.get failure_box with Some e -> raise e | None -> ());
   let s = Transport.stats transport in
+  let wait_calls = Atomic.get s.wait_calls in
   {
     protocol = P.name;
     n;
     seed = config.seed;
     backend = Transport.name transport;
+    readiness = Transport.readiness_backend transport;
     unit_s = config.unit_s;
     shards;
     wall_s = Clock.elapsed_wall clock;
@@ -465,8 +539,107 @@ let run (type m) ?tap ?(backend = Loopback) config
     frames_dropped = Atomic.get s.frames_dropped;
     write_syscalls = Atomic.get s.write_syscalls;
     read_syscalls = Atomic.get s.read_syscalls;
+    wait_calls;
+    fds_registered = Atomic.get s.fds_registered;
+    avg_ready_per_wait =
+      (if wait_calls = 0 then 0.0
+       else float_of_int (Atomic.get s.fds_ready) /. float_of_int wait_calls);
     metrics;
   }
 
 let run_packed ?backend config (Codecs.Packed ((module P), codec)) =
   run ?backend config (module P) codec
+
+(* ---------------- multi-process fleet ---------------- *)
+
+type fleet_member = {
+  m_grants : int;
+  m_frames_sent : int;
+  m_wall_s : float;
+  m_resp_mean : float;
+  m_resp_p99 : float;
+  m_wait_calls : int;
+  m_fds_registered : int;
+  m_decode_errors : int;
+}
+
+(* Split a socket cluster across [procs] forked children, each hosting a
+   contiguous slice of the ids, all running the same wall-clock duration
+   so no cross-process stop coordination is needed: a child that hit its
+   duration keeps its sockets open until every slice is done, because the
+   transport only closes on [run] return and the parent only reaps after
+   reading all summary lines. Each child ships one scalar summary line
+   over a shared pipe (far below PIPE_BUF, so lines can't interleave). *)
+let run_fleet ~procs ~addrs (config : config) packed =
+  let n = config.n in
+  let slice p =
+    let lo = p * n / procs and hi = (p + 1) * n / procs in
+    List.init (hi - lo) (fun k -> lo + k)
+  in
+  let rpipe, wpipe = Unix.pipe () in
+  let pids =
+    List.init procs (fun p ->
+        match Unix.fork () with
+        | 0 ->
+            let code =
+              try
+                Unix.close rpipe;
+                let report =
+                  run_packed
+                    ~backend:(Sockets { owned = slice p; addrs })
+                    config packed
+                in
+                let resp = Tr_sim.Metrics.responsiveness report.metrics in
+                let p99 =
+                  Tr_stats.Quantile.quantile
+                    (Tr_sim.Metrics.responsiveness_quantiles report.metrics)
+                    0.99
+                in
+                let line =
+                  Printf.sprintf "%d %d %d %.6f %.6f %.6f %d %d %d\n" p
+                    report.grants report.frames_sent report.wall_s
+                    (Tr_stats.Summary.mean resp)
+                    p99 report.wait_calls report.fds_registered
+                    report.decode_errors
+                in
+                ignore
+                  (Unix.write_substring wpipe line 0 (String.length line));
+                0
+              with e ->
+                Printf.eprintf "fleet child %d: %s\n%!" p
+                  (Printexc.to_string e);
+                1
+            in
+            exit code
+        | pid -> pid)
+  in
+  Unix.close wpipe;
+  let ic = Unix.in_channel_of_descr rpipe in
+  let lines =
+    List.init procs (fun _ ->
+        match input_line ic with
+        | line -> Some line
+        | exception End_of_file -> None)
+  in
+  let ok =
+    List.for_all
+      (fun pid ->
+        match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false)
+      pids
+  in
+  close_in ic;
+  if not ok then failwith "fleet child exited abnormally";
+  List.filter_map Fun.id lines
+  |> List.map (fun line ->
+         Scanf.sscanf line "%d %d %d %f %f %f %d %d %d"
+           (fun _p g f w r p99 waits fds de ->
+             {
+               m_grants = g;
+               m_frames_sent = f;
+               m_wall_s = w;
+               m_resp_mean = r;
+               m_resp_p99 = p99;
+               m_wait_calls = waits;
+               m_fds_registered = fds;
+               m_decode_errors = de;
+             }))

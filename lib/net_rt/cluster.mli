@@ -37,12 +37,20 @@ type config = {
   load : load;
   stop : stop;
   max_wall_s : float;  (** Hard safety limit on wall time. *)
+  pin_cores : bool;
+      (** Pin each shard domain to one CPU ([sched_setaffinity],
+          shard index modulo core count). Advisory: pinning failure is
+          ignored. *)
+  readiness : Readiness.backend option;
+      (** Force the sockets readiness backend; [None] picks the best
+          available (honouring [TR_READINESS] — see
+          {!Readiness.default_backend}). Ignored on loopback. *)
 }
 
 val default_config : n:int -> seed:int -> config
 (** 1 ms units, one-unit hops on both channels, [No_load],
     [Duration 1000.], 60 s wall cap, shards from
-    [Domain.recommended_domain_count]. *)
+    [Domain.recommended_domain_count], no pinning, default readiness. *)
 
 (** Handle passed to the {!run} [tap]: lets a test kill a node mid-run or
     end the run early. *)
@@ -59,6 +67,9 @@ type report = {
   n : int;
   seed : int;
   backend : string;
+  readiness : string;
+      (** Readiness backend the shards waited in: ["epoll"], ["poll"],
+          ["select"], or ["none"] for loopback. *)
   unit_s : float;
   shards : int;
   wall_s : float;
@@ -75,6 +86,13 @@ type report = {
   frames_dropped : int;
   write_syscalls : int;  (** [write(2)] calls issued (sockets backends). *)
   read_syscalls : int;  (** [read(2)] calls issued (sockets backends). *)
+  wait_calls : int;  (** Readiness waits issued across all shards. *)
+  fds_registered : int;
+      (** Fds registered in the shards' readiness sets at run end
+          (listeners + connections + wake pipes). *)
+  avg_ready_per_wait : float;
+      (** Mean fds reported ready per wait — the O(ready) dispatch cost,
+          independent of [fds_registered]. *)
   metrics : Tr_sim.Metrics.t;
 }
 
@@ -98,3 +116,31 @@ val run :
 
 val run_packed : ?backend:backend_spec -> config -> Tr_wire.Codecs.packed -> report
 (** {!run} over a registry entry (protocol paired with its codec). *)
+
+(** One forked fleet child's scalar summary (see {!run_fleet}). *)
+type fleet_member = {
+  m_grants : int;
+  m_frames_sent : int;
+  m_wall_s : float;
+  m_resp_mean : float;  (** Mean responsiveness, time units. *)
+  m_resp_p99 : float;  (** p99 responsiveness, time units. *)
+  m_wait_calls : int;
+  m_fds_registered : int;
+  m_decode_errors : int;
+}
+
+val run_fleet :
+  procs:int ->
+  addrs:Unix.sockaddr array ->
+  config ->
+  Tr_wire.Codecs.packed ->
+  fleet_member list
+(** Fork [procs] children, each hosting a contiguous slice of the ids of
+    a socket cluster over [addrs], all running [config] (which should use
+    a {!Duration} stop — there is no cross-process grant coordination).
+    Splits the per-process fd bill by [procs], so a 10k-node cluster fits
+    under an un-raisable [RLIMIT_NOFILE]. Returns one summary per child
+    in slice order; raises [Failure] if any child exits abnormally. May
+    return fewer than [procs] members if a child died before reporting
+    (callers should check). Must be called from a single-domain process
+    ([fork] and OCaml domains don't mix). *)

@@ -64,6 +64,7 @@ let json_of_report (r : Cluster.report) =
       ("n", string_of_int r.n);
       ("seed", string_of_int r.seed);
       ("backend", json_string r.backend);
+      ("readiness", json_string r.readiness);
       ("git", json_string (git_describe ()));
       ("generated_at", json_float (Unix.gettimeofday ()));
       ("unit_s", json_float r.unit_s);
@@ -80,6 +81,9 @@ let json_of_report (r : Cluster.report) =
       ("frames_dropped", string_of_int r.frames_dropped);
       ("write_syscalls", string_of_int r.write_syscalls);
       ("read_syscalls", string_of_int r.read_syscalls);
+      ("wait_calls", string_of_int r.wait_calls);
+      ("fds_registered", string_of_int r.fds_registered);
+      ("avg_ready_per_wait", json_float r.avg_ready_per_wait);
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));
       ( "responsiveness_quantiles",

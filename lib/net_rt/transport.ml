@@ -10,6 +10,9 @@ type stats = {
   frames_dropped : int Atomic.t;
   write_syscalls : int Atomic.t;
   read_syscalls : int Atomic.t;
+  wait_calls : int Atomic.t;
+  fds_ready : int Atomic.t;
+  fds_registered : int Atomic.t;
 }
 
 let make_stats () =
@@ -23,10 +26,14 @@ let make_stats () =
     frames_dropped = Atomic.make 0;
     write_syscalls = Atomic.make 0;
     read_syscalls = Atomic.make 0;
+    wait_calls = Atomic.make 0;
+    fds_ready = Atomic.make 0;
+    fds_registered = Atomic.make 0;
   }
 
 type t = {
   name : string;
+  readiness : string;
   stats : stats;
   poll_driven : bool;
   send : src:int -> dst:int -> delay:float -> string -> unit;
@@ -34,11 +41,16 @@ type t = {
   poll : owner:int -> upto:float -> (Frame.view -> unit) -> unit;
   next_due : owner:int -> float option;
   wait :
-    owners:int list -> extra_fds:Unix.file_descr list -> timeout_s:float -> unit;
+    owners:int list ->
+    extra_fds:Unix.file_descr list ->
+    timeout_s:float ->
+    on_ready:(int -> unit) ->
+    unit;
   close : unit -> unit;
 }
 
 let name t = t.name
+let readiness_backend t = t.readiness
 let stats t = t.stats
 let poll_driven t = t.poll_driven
 let send t = t.send
@@ -46,8 +58,8 @@ let send_frame t = t.send_frame
 let poll t ?(upto = infinity) ~owner f = t.poll ~owner ~upto f
 let next_due t = t.next_due
 
-let wait t ?(extra_fds = []) ~owners ~timeout_s () =
-  t.wait ~owners ~extra_fds ~timeout_s
+let wait t ?(extra_fds = []) ?(on_ready = fun _ -> ()) ~owners ~timeout_s () =
+  t.wait ~owners ~extra_fds ~timeout_s ~on_ready
 
 let count_decode_error t = Atomic.incr t.stats.decode_errors
 let close t = t.close ()
@@ -143,11 +155,12 @@ module Loopback = struct
       settle node;
       Tr_sim.Pqueue.peek_time node.pending
     in
-    let wait ~owners:_ ~extra_fds:_ ~timeout_s =
+    let wait ~owners:_ ~extra_fds:_ ~timeout_s ~on_ready:_ =
       if timeout_s > 0.0 then Unix.sleepf (Float.min timeout_s max_wait_s)
     in
     {
       name = "loopback";
+      readiness = "none";
       stats;
       poll_driven = false;
       send;
@@ -187,7 +200,15 @@ module Sockets = struct
   let set_nodelay fd =
     try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
 
-  type conn_in = { fd : Unix.file_descr; dec : Frame.Decoder.t }
+  (* Unix.file_descr is an int on every Unix OCaml port; the fd->peer
+     index is keyed by it. *)
+  external fd_int : Unix.file_descr -> int = "%identity"
+
+  type conn_in = {
+    fd : Unix.file_descr;
+    dec : Frame.Decoder.t;
+    mutable ready : bool;  (** Queued in its node's [ready_ins]. *)
+  }
 
   (* Outgoing frames coalesce into one flat buffer, flushed with a
      single [write] per poll. [bounds] remembers each queued frame's
@@ -204,20 +225,70 @@ module Sockets = struct
     mutable head_off : int;  (** Bytes of the head frame already written. *)
     mutable backoff : float;
     mutable retry_at : float;  (** Wall time before which we won't dial. *)
+    mutable in_busy : bool;  (** Queued in its node's [busy]. *)
+    mutable in_retry : bool;  (** Queued in its shard set's [retry_outs]. *)
   }
 
   let queued co = co.out_len - co.out_pos
 
+  (* A node is {e tracked} once its owning shard first calls [wait]: its
+     fds then live in that shard's readiness set and [poll] touches only
+     what the last wait reported ready — O(ready), not O(connections).
+     Untracked nodes (raw bench pumps that never wait) keep the legacy
+     scan-everything poll. *)
   type node = {
     id : int;
     listen : Unix.file_descr;
     nodelay : bool;
     mutable ins : conn_in list;
-    outs : conn_out option array;
-    readbuf : Bytes.t;
+    outs : (int, conn_out) Hashtbl.t;  (** Keyed by destination node id. *)
+    readbuf : Bytes.t Lazy.t;  (** Untracked mode only; tracked reads share
+                                   the shard set's buffer. *)
+    mutable tracked : shard_set option;
+    mutable accept_ready : bool;
+    mutable ready_ins : conn_in list;
+    mutable busy : conn_out list;  (** Conns with unflushed bytes. *)
   }
 
+  (* One per waiting shard: the readiness set all the shard's fds are
+     registered in, plus the fd->peer index that turns a ready fd back
+     into work in O(1). *)
+  and shard_set = {
+    rd : Readiness.t;
+    fdx : (int, entry) Hashtbl.t;
+    sbuf : Bytes.t;  (** Shared read buffer — one per shard, not per node. *)
+    mutable retry_outs : (node * conn_out) list;
+        (** Down peers with queued bytes, waiting out their backoff. *)
+    extra : (int, unit) Hashtbl.t;  (** Registered caller wake fds. *)
+  }
+
+  and entry =
+    | Listener of node
+    | In of node * conn_in
+    | Out of node * conn_out
+    | Wake
+
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  (* Registration keeps the [fds_registered] gauge honest: an fd counts
+     once, however often its interest mask changes. Removal must happen
+     before the fd is closed (epoll auto-forgets closed fds, but the
+     poll/select sets would otherwise scan a dead descriptor). *)
+  let reg stats set fd entry ~read ~write =
+    let key = fd_int fd in
+    if not (Hashtbl.mem set.fdx key) then begin
+      Hashtbl.replace set.fdx key entry;
+      Atomic.incr stats.fds_registered
+    end;
+    Readiness.set set.rd fd ~read ~write
+
+  let unreg stats set fd =
+    let key = fd_int fd in
+    if Hashtbl.mem set.fdx key then begin
+      Hashtbl.remove set.fdx key;
+      Atomic.decr stats.fds_registered;
+      Readiness.remove set.rd fd
+    end
 
   let reset_if_empty co =
     if queued co = 0 then begin
@@ -225,8 +296,12 @@ module Sockets = struct
       co.out_len <- 0
     end
 
-  let tear_down stats co =
-    (match co.fd with Some fd -> close_quietly fd | None -> ());
+  let tear_down stats tracked co =
+    (match co.fd with
+    | Some fd ->
+        (match tracked with Some set -> unreg stats set fd | None -> ());
+        close_quietly fd
+    | None -> ());
     co.fd <- None;
     if co.head_off > 0 then begin
       (* Drop the half-written head frame whole; its tail must not open
@@ -241,21 +316,30 @@ module Sockets = struct
     co.retry_at <- Unix.gettimeofday () +. co.backoff;
     Atomic.incr stats.reconnects
 
-  let dial stats co =
+  let dial stats node co =
     let fd = Unix.socket (Unix.domain_of_sockaddr co.addr) Unix.SOCK_STREAM 0 in
     Unix.set_nonblock fd;
     (match co.addr with
     | Unix.ADDR_INET _ -> set_nodelay fd
     | Unix.ADDR_UNIX _ -> ());
+    let connected () =
+      co.fd <- Some fd;
+      (* Write interest from the start: dialing only ever happens with
+         bytes queued, and a connect still in progress completes as a
+         writability event. *)
+      match node.tracked with
+      | Some set -> reg stats set fd (Out (node, co)) ~read:false ~write:true
+      | None -> ()
+    in
     match Unix.connect fd co.addr with
-    | () -> co.fd <- Some fd
+    | () -> connected ()
     | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN | EINTR), _, _)
       ->
-        co.fd <- Some fd
+        connected ()
     | exception Unix.Unix_error (_, _, _) ->
         close_quietly fd;
         co.fd <- None;
-        tear_down stats co
+        tear_down stats node.tracked co
 
   (* Append [len] frame bytes to the coalescing buffer. [blit dst dstoff]
      writes them; the caller has already counted the frame. *)
@@ -301,13 +385,13 @@ module Sockets = struct
   (* One [write] covering every queued frame; a partial write means the
      kernel buffer is full, so stop rather than spin. Sends between two
      polls therefore cost at most one syscall total. *)
-  let rec flush stats co =
+  let rec flush stats node co =
     if queued co > 0 then
       match co.fd with
       | None ->
           if Unix.gettimeofday () >= co.retry_at then begin
-            dial stats co;
-            if co.fd <> None then flush stats co
+            dial stats node co;
+            if co.fd <> None then flush stats node co
           end
       | Some fd -> (
           match Unix.write fd co.out co.out_pos (queued co) with
@@ -325,7 +409,7 @@ module Sockets = struct
               Atomic.incr stats.write_syscalls
           | exception Unix.Unix_error (_, _, _) ->
               Atomic.incr stats.write_syscalls;
-              tear_down stats co)
+              tear_down stats node.tracked co)
 
   let unlink_quietly path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
@@ -338,48 +422,130 @@ module Sockets = struct
     | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
     | Unix.ADDR_UNIX _ -> ());
     Unix.bind fd addr;
-    Unix.listen fd 64;
+    Unix.listen fd 1024;
     Unix.set_nonblock fd;
     fd
 
-  let accept_all node =
+  let accept_all stats node =
     let rec go () =
       match Unix.accept ~cloexec:true node.listen with
       | fd, _ ->
           Unix.set_nonblock fd;
           if node.nodelay then set_nodelay fd;
-          node.ins <- { fd; dec = Frame.Decoder.create () } :: node.ins;
+          let ci = { fd; dec = Frame.Decoder.create (); ready = false } in
+          node.ins <- ci :: node.ins;
+          (* Level-triggered registration: bytes that raced in before
+             this point still report readable on the next wait. *)
+          (match node.tracked with
+          | Some set -> reg stats set fd (In (node, ci)) ~read:true ~write:false
+          | None -> ());
           go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     in
     go ()
 
   (* Read everything available on one inbound connection. Returns false
-     when the connection is finished (EOF or error) and should drop. *)
-  let read_conn stats node (ci : conn_in) f =
+     when the connection is finished (EOF or error) and should drop —
+     the caller deregisters before closing. *)
+  let read_conn stats buf (ci : conn_in) f =
     let rec go () =
-      match Unix.read ci.fd node.readbuf 0 (Bytes.length node.readbuf) with
+      match Unix.read ci.fd buf 0 (Bytes.length buf) with
       | 0 ->
           Atomic.incr stats.read_syscalls;
-          close_quietly ci.fd;
           false
       | k ->
           Atomic.incr stats.read_syscalls;
-          Frame.Decoder.feed_sub ci.dec node.readbuf ~pos:0 ~len:k;
+          Frame.Decoder.feed_sub ci.dec buf ~pos:0 ~len:k;
           drain_decoder stats ci.dec f;
-          if k = Bytes.length node.readbuf then go () else true
+          if k = Bytes.length buf then go () else true
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
           Atomic.incr stats.read_syscalls;
           true
       | exception Unix.Unix_error (_, _, _) ->
           Atomic.incr stats.read_syscalls;
-          close_quietly ci.fd;
           false
     in
     go ()
 
-  let create ~clock:_ ~n ~owned ~addrs =
+  let drop_in stats node (ci : conn_in) =
+    (match node.tracked with Some set -> unreg stats set ci.fd | None -> ());
+    close_quietly ci.fd;
+    node.ins <- List.filter (fun c -> c != ci) node.ins
+
+  (* Legacy poll: scan every connection the node has. Only nodes whose
+     shard never waits (raw pumps) pay this. *)
+  let poll_untracked stats node f =
+    accept_all stats node;
+    let buf = Lazy.force node.readbuf in
+    node.ins <-
+      List.filter
+        (fun ci ->
+          let keep = read_conn stats buf ci f in
+          if not keep then close_quietly ci.fd;
+          keep)
+        node.ins;
+    Hashtbl.iter (fun _ co -> flush stats node co) node.outs
+
+  (* Tracked poll: touch only what readiness reported (accept_ready,
+     ready_ins) plus connections with unflushed bytes (busy). Write
+     interest tracks the busy state so an idle cluster registers no
+     write-side events at all. *)
+  let poll_tracked stats set node f =
+    if node.accept_ready then begin
+      node.accept_ready <- false;
+      accept_all stats node
+    end;
+    (match node.ready_ins with
+    | [] -> ()
+    | ris ->
+        node.ready_ins <- [];
+        List.iter
+          (fun ci ->
+            ci.ready <- false;
+            if not (read_conn stats set.sbuf ci f) then drop_in stats node ci)
+          ris);
+    match node.busy with
+    | [] -> ()
+    | busy ->
+        node.busy <- [];
+        List.iter
+          (fun co ->
+            flush stats node co;
+            if queued co = 0 then begin
+              co.in_busy <- false;
+              match co.fd with
+              | Some fd -> Readiness.set set.rd fd ~read:false ~write:false
+              | None -> ()
+            end
+            else begin
+              node.busy <- co :: node.busy;
+              match co.fd with
+              | Some fd -> reg stats set fd (Out (node, co)) ~read:false ~write:true
+              | None ->
+                  if not co.in_retry then begin
+                    co.in_retry <- true;
+                    set.retry_outs <- (node, co) :: set.retry_outs
+                  end
+            end)
+          busy
+
+  let create ?readiness ~clock:_ ~n ~owned ~addrs () =
     Lazy.force ignore_sigpipe;
+    (* High-N clusters hit the default soft RLIMIT_NOFILE long before
+       they hit any real resource limit; raise it once per process. *)
+    ignore (Readiness.raise_nofile ());
+    let rd_backend =
+      match readiness with
+      | Some b ->
+          if not (Readiness.available b) then
+            failwith
+              (Printf.sprintf
+                 "Transport.sockets: readiness backend %s is unavailable on \
+                  this platform"
+                 (Readiness.backend_name b));
+          b
+      | None -> Readiness.default_backend ()
+    in
     if Array.length addrs <> n then
       invalid_arg "Transport.sockets: addrs array must have one entry per node";
     List.iter (fun i -> check_node ~what:"owned" ~n i) owned;
@@ -397,8 +563,12 @@ module Sockets = struct
                 | Unix.ADDR_INET _ -> true
                 | Unix.ADDR_UNIX _ -> false);
               ins = [];
-              outs = Array.make n None;
-              readbuf = Bytes.create 65536;
+              outs = Hashtbl.create 4;
+              readbuf = lazy (Bytes.create 65536);
+              tracked = None;
+              accept_ready = false;
+              ready_ins = [];
+              busy = [];
             })
       owned;
     let host ~what i =
@@ -410,7 +580,7 @@ module Sockets = struct
                what i)
     in
     let out_conn node dst =
-      match node.outs.(dst) with
+      match Hashtbl.find_opt node.outs dst with
       | Some co -> co
       | None ->
           let co =
@@ -424,9 +594,11 @@ module Sockets = struct
               head_off = 0;
               backoff = backoff_min;
               retry_at = 0.0;
+              in_busy = false;
+              in_retry = false;
             }
           in
-          node.outs.(dst) <- Some co;
+          Hashtbl.replace node.outs dst co;
           co
     in
     (* Enqueue only — the coalesced buffer is flushed once per [poll],
@@ -440,7 +612,11 @@ module Sockets = struct
       else begin
         Atomic.incr stats.frames_sent;
         ignore (Atomic.fetch_and_add stats.bytes_sent len);
-        append co ~len blit
+        append co ~len blit;
+        if not co.in_busy then begin
+          co.in_busy <- true;
+          node.busy <- co :: node.busy
+        end
       end
     in
     let send ~src ~dst ~delay:_ frame =
@@ -455,46 +631,155 @@ module Sockets = struct
       (* Socket arrival times are physical: any buffered byte arrived in
          the past, so an [upto] bound can never exclude it. *)
       let node = host ~what:"poll owner" owner in
-      accept_all node;
-      node.ins <- List.filter (fun ci -> read_conn stats node ci f) node.ins;
-      Array.iter
-        (function Some co -> flush stats co | None -> ())
-        node.outs
+      match node.tracked with
+      | Some set -> poll_tracked stats set node f
+      | None -> poll_untracked stats node f
     in
     let next_due ~owner:_ = None in
-    (* Block until something the owners care about can make progress:
-       an inbound byte or connection, an outgoing buffer draining, or a
-       caller-supplied wake fd. Reconnect timers bound the sleep so a
-       peer coming back is noticed promptly. *)
-    let wait ~owners ~extra_fds ~timeout_s =
-      let timeout = ref (Float.min timeout_s max_wait_s) in
-      let reads = ref extra_fds in
-      let writes = ref [] in
-      let now = ref nan in
+    (* Shard sets are created lazily by the first wait of each shard;
+       the list exists only so close can release the epoll fds. *)
+    let sets_mu = Mutex.create () in
+    let shard_sets = ref [] in
+    let make_set () =
+      let set =
+        {
+          rd = Readiness.create ~backend:rd_backend ();
+          fdx = Hashtbl.create 256;
+          sbuf = Bytes.create 65536;
+          retry_outs = [];
+          extra = Hashtbl.create 4;
+        }
+      in
+      Mutex.lock sets_mu;
+      shard_sets := set :: !shard_sets;
+      Mutex.unlock sets_mu;
+      set
+    in
+    (* Move a node into a shard's readiness set. Registration is
+       once-per-fd; the conservative ready flags make the node's next
+       poll sweep everything once, after which O(ready) takes over. *)
+    let track_node set node =
+      node.tracked <- Some set;
+      reg stats set node.listen (Listener node) ~read:true ~write:false;
+      node.accept_ready <- true;
+      List.iter
+        (fun (ci : conn_in) ->
+          reg stats set ci.fd (In (node, ci)) ~read:true ~write:false;
+          if not ci.ready then begin
+            ci.ready <- true;
+            node.ready_ins <- ci :: node.ready_ins
+          end)
+        node.ins;
+      Hashtbl.iter
+        (fun _ co ->
+          (match co.fd with
+          | Some fd ->
+              reg stats set fd (Out (node, co)) ~read:false
+                ~write:(queued co > 0)
+          | None -> ());
+          if queued co > 0 && not co.in_busy then begin
+            co.in_busy <- true;
+            node.busy <- co :: node.busy
+          end)
+        node.outs
+    in
+    let ensure_tracked owners =
+      let existing =
+        List.fold_left
+          (fun acc i ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match hosted.(i) with
+                | Some node -> node.tracked
+                | None -> None))
+          None owners
+      in
+      let set = match existing with Some s -> s | None -> make_set () in
       List.iter
         (fun i ->
           match hosted.(i) with
-          | None -> ()
-          | Some node ->
-              reads := node.listen :: !reads;
-              List.iter (fun (ci : conn_in) -> reads := ci.fd :: !reads) node.ins;
-              Array.iter
-                (function
-                  | Some co when queued co > 0 -> (
-                      match co.fd with
-                      | Some fd -> writes := fd :: !writes
-                      | None ->
-                          if Float.is_nan !now then now := Unix.gettimeofday ();
-                          timeout :=
-                            Float.min !timeout
-                              (Float.max backoff_min (co.retry_at -. !now)))
-                  | _ -> ())
-                node.outs)
+          | Some ({ tracked = None; _ } as node) -> track_node set node
+          | _ -> ())
         owners;
-      if !timeout > 0.0 then
-        match Unix.select !reads !writes [] !timeout with
-        | _ -> ()
-        | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> ()
+      set
+    in
+    (* Block in the shard's readiness set until an owner's fd is ready;
+       each event is dispatched through the fd index and surfaced to the
+       caller as an [on_ready owner] activation, so the shard loop knows
+       exactly which nodes to poll — no per-node scan at any point. *)
+    let wait ~owners ~extra_fds ~timeout_s ~on_ready =
+      List.iter (fun i -> check_node ~what:"wait owner" ~n i) owners;
+      let set = ensure_tracked owners in
+      List.iter
+        (fun fd ->
+          let key = fd_int fd in
+          if not (Hashtbl.mem set.extra key) then begin
+            Hashtbl.replace set.extra key ();
+            reg stats set fd Wake ~read:true ~write:false
+          end)
+        extra_fds;
+      let timeout = ref (Float.max 0.0 (Float.min timeout_s max_wait_s)) in
+      (* Down peers with queued bytes wake their owner when the backoff
+         expires; until then they bound the sleep. *)
+      if set.retry_outs <> [] then begin
+        let now = Unix.gettimeofday () in
+        set.retry_outs <-
+          List.filter
+            (fun (node, co) ->
+              if co.fd <> None || queued co = 0 then begin
+                co.in_retry <- false;
+                false
+              end
+              else if co.retry_at <= now then begin
+                co.in_retry <- false;
+                if not co.in_busy then begin
+                  co.in_busy <- true;
+                  node.busy <- co :: node.busy
+                end;
+                on_ready node.id;
+                timeout := 0.0;
+                false
+              end
+              else begin
+                timeout := Float.min !timeout (co.retry_at -. now);
+                true
+              end)
+            set.retry_outs
+      end;
+      Atomic.incr stats.wait_calls;
+      let ready =
+        Readiness.wait set.rd ~timeout_s:!timeout
+          (fun ~fd ~readable ~writable ->
+            match Hashtbl.find_opt set.fdx fd with
+            | None | Some Wake -> ()
+            | Some (Listener node) ->
+                if readable then begin
+                  node.accept_ready <- true;
+                  on_ready node.id
+                end
+            | Some (In (node, ci)) ->
+                if readable && not ci.ready then begin
+                  ci.ready <- true;
+                  node.ready_ins <- ci :: node.ready_ins;
+                  on_ready node.id
+                end
+            | Some (Out (node, co)) ->
+                if queued co = 0 then begin
+                  (* Zero interest, yet an event: only ERR/HUP can land
+                     here — the peer closed an idle connection. Drop it
+                     now or level-triggered epoll reports it on every
+                     wait. *)
+                  match co.fd with
+                  | Some cfd when fd_int cfd = fd ->
+                      unreg stats set cfd;
+                      close_quietly cfd;
+                      co.fd <- None
+                  | _ -> ()
+                end
+                else if writable then on_ready node.id)
+      in
+      if ready > 0 then ignore (Atomic.fetch_and_add stats.fds_ready ready)
     in
     let close () =
       Array.iter
@@ -503,16 +788,19 @@ module Sockets = struct
           | Some node ->
               close_quietly node.listen;
               List.iter (fun (ci : conn_in) -> close_quietly ci.fd) node.ins;
-              Array.iter
-                (function
-                  | Some co -> (
-                      match co.fd with Some fd -> close_quietly fd | None -> ())
-                  | None -> ())
+              Hashtbl.iter
+                (fun _ co ->
+                  match co.fd with Some fd -> close_quietly fd | None -> ())
                 node.outs;
               (match addrs.(node.id) with
               | Unix.ADDR_UNIX path -> unlink_quietly path
               | Unix.ADDR_INET _ -> ()))
-        hosted
+        hosted;
+      Mutex.lock sets_mu;
+      let sets = !shard_sets in
+      shard_sets := [];
+      Mutex.unlock sets_mu;
+      List.iter (fun set -> Readiness.close set.rd) sets
     in
     let name =
       if n > 0 then
@@ -523,6 +811,7 @@ module Sockets = struct
     in
     {
       name;
+      readiness = Readiness.backend_name rd_backend;
       stats;
       poll_driven = true;
       send;
@@ -536,7 +825,8 @@ end
 
 let loopback ~clock ~n = Loopback.create ~clock ~n
 
-let sockets ~clock ~n ~owned ~addrs = Sockets.create ~clock ~n ~owned ~addrs
+let sockets ?readiness ~clock ~n ~owned ~addrs () =
+  Sockets.create ?readiness ~clock ~n ~owned ~addrs ()
 
 let uds_addrs ~dir ~n =
   Array.init n (fun i ->

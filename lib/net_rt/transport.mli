@@ -28,7 +28,17 @@
     model — the [delay] argument is ignored. Creating a sockets
     transport installs a process-wide SIGPIPE ignore so a disconnected
     peer surfaces as [EPIPE] (handled by the reconnect path) instead of
-    killing the process. *)
+    killing the process, and raises [RLIMIT_NOFILE] as far as the
+    process may so high-N clusters don't trip the soft default.
+
+    {b Readiness.} Each shard's first {!wait} moves its nodes' fds into
+    a per-shard {!Readiness} set (epoll on Linux, poll elsewhere, select
+    as a forced baseline — see {!Readiness.backend}); fds register once
+    and every subsequent wait costs O(ready), not O(connections). Ready
+    events are dispatched through a persistent fd index and surfaced to
+    the caller as [on_ready owner] activations so the shard loop knows
+    exactly which nodes to poll. Nodes whose shard never waits (raw
+    bench pumps) keep the legacy scan-everything {!poll}. *)
 
 type stats = {
   frames_sent : int Atomic.t;
@@ -49,12 +59,25 @@ type stats = {
       (** [write(2)] calls issued (sockets only) — with batching this
           stays well below [frames_sent]. *)
   read_syscalls : int Atomic.t;  (** [read(2)] calls issued (sockets only). *)
+  wait_calls : int Atomic.t;
+      (** {!wait} invocations that reached the kernel (sockets only). *)
+  fds_ready : int Atomic.t;
+      (** Total fds reported ready across all waits; divided by
+          [wait_calls] this gives the average readiness batch — the
+          O(ready) dispatch cost — independent of [fds_registered]. *)
+  fds_registered : int Atomic.t;
+      (** Gauge: fds currently registered across all shard readiness
+          sets (listeners, connections, wake pipes). *)
 }
 
 type t
 
 val name : t -> string
 (** Backend name for report stamping: ["loopback"], ["tcp"] or ["unix"]. *)
+
+val readiness_backend : t -> string
+(** Readiness backend driving {!wait}: ["epoll"], ["poll"] or
+    ["select"] for sockets; ["none"] for loopback. *)
 
 val stats : t -> stats
 
@@ -75,8 +98,10 @@ val poll : t -> ?upto:float -> owner:int -> (Tr_wire.Frame.view -> unit) -> unit
     write syscall per busy peer per poll. [upto] caps the delivery
     horizon in clock units (loopback only) so the caller can interleave
     timers and deliveries in due-time order; socket arrivals are
-    physical and always due. Must only be called from the shard that
-    owns the node. *)
+    physical and always due. Once [owner]'s shard has called {!wait},
+    this touches only the connections the last wait reported ready plus
+    those with unflushed bytes — O(ready), not O(connections). Must only
+    be called from the shard that owns the node. *)
 
 val next_due : t -> owner:int -> float option
 (** Clock time (units) of the earliest queued delivery for [owner], if
@@ -90,17 +115,21 @@ val poll_driven : t -> bool
 val wait :
   t ->
   ?extra_fds:Unix.file_descr list ->
+  ?on_ready:(int -> unit) ->
   owners:int list ->
   timeout_s:float ->
   unit ->
   unit
 (** Block until work may be available for [owners] or [timeout_s]
     elapses (capped at 0.25 s as a lost-wakeup safety net). On sockets
-    this is a [select] over the owners' listeners, inbound connections
-    and draining outbound buffers, plus any [extra_fds] (read side) the
-    caller wants as wake channels — an idle cluster burns no CPU.
-    Pending reconnect deadlines bound the sleep. On loopback it simply
-    sleeps. *)
+    this blocks in the calling shard's readiness set — owners' fds are
+    registered on first call and stay registered, so the per-wait cost
+    is O(ready). Each ready event invokes [on_ready owner] (possibly
+    several times per owner) telling the caller which nodes to {!poll};
+    [extra_fds] (read side) ride in the set as wake channels and are
+    never reported through [on_ready] — an idle cluster burns no CPU.
+    Pending reconnect deadlines bound the sleep and activate their owner
+    when due. On loopback it simply sleeps. *)
 
 val count_decode_error : t -> unit
 (** Record an envelope-level decode failure (bad codec key/version or
@@ -111,15 +140,22 @@ val close : t -> unit
 val loopback : clock:Clock.t -> n:int -> t
 
 val sockets :
+  ?readiness:Readiness.backend ->
   clock:Clock.t ->
   n:int ->
   owned:int list ->
   addrs:Unix.sockaddr array ->
+  unit ->
   t
 (** Host the nodes in [owned] (listeners are bound immediately); sends
     may target any node in [addrs]. [name] reports ["unix"] if the first
-    address is a Unix-domain path, ["tcp"] otherwise.
-    @raise Invalid_argument on bad [owned] ids or array size. *)
+    address is a Unix-domain path, ["tcp"] otherwise. [readiness] forces
+    a wait backend; the default honours [TR_READINESS] and otherwise
+    picks the best available (epoll, then poll — see
+    {!Readiness.default_backend}).
+    @raise Invalid_argument on bad [owned] ids or array size.
+    @raise Failure on an unavailable forced backend or a bad
+    [TR_READINESS] value. *)
 
 val uds_addrs : dir:string -> n:int -> Unix.sockaddr array
 (** [dir/node-<i>.sock] for each node. *)

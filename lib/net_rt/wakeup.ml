@@ -1,0 +1,37 @@
+(* See wakeup.mli. The read side is what shards register in their
+   readiness set; level-triggered semantics make the race-free contract
+   simple: a byte written before the shard enters its wait still wakes
+   it, and draining to EAGAIN before sleeping guarantees a burst of
+   wakes cannot leave stale readability that spins the next wait. *)
+
+type t = { r : Unix.file_descr; w : Unix.file_descr; buf : Bytes.t }
+
+let create () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock r;
+  Unix.set_nonblock w;
+  { r; w; buf = Bytes.create 4096 }
+
+let read_fd t = t.r
+
+let byte = Bytes.make 1 '!'
+
+let wake t =
+  (* A full pipe is fine: readability is already pending, which is all
+     a wake means. Any other error means we are shutting down. *)
+  try ignore (Unix.single_write t.w byte 0 1) with Unix.Unix_error _ -> ()
+
+let drain t =
+  let rec go () =
+    match Unix.read t.r t.buf 0 (Bytes.length t.buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let close t =
+  (try Unix.close t.r with Unix.Unix_error _ -> ());
+  try Unix.close t.w with Unix.Unix_error _ -> ()

@@ -1,0 +1,26 @@
+(** Per-shard wake pipes.
+
+    A shard sleeping in {!Transport.wait} is woken by writing a byte to
+    its pipe; the pipe's read end rides in the shard's readiness set as
+    an extra fd. The write side is safe from any domain; {!drain} must
+    be called by the owning shard after every wake-up (it reads to
+    [EAGAIN], so a burst of stop/load-inject wakes cannot leave stale
+    readability behind — stale bytes would make every subsequent wait
+    return immediately and spin the shard at 100% CPU). *)
+
+type t
+
+val create : unit -> t
+(** A non-blocking pipe pair. *)
+
+val read_fd : t -> Unix.file_descr
+(** The fd to register for readability. *)
+
+val wake : t -> unit
+(** Write one wake byte. Never blocks and never raises: a full pipe
+    already has readability pending, which is all a wake means. *)
+
+val drain : t -> unit
+(** Read the pipe empty (to [EAGAIN]). Owning shard only. *)
+
+val close : t -> unit

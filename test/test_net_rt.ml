@@ -6,6 +6,8 @@
 open Tr_sim
 module Cluster = Tr_net_rt.Cluster
 module Transport = Tr_net_rt.Transport
+module Readiness = Tr_net_rt.Readiness
+module Wakeup = Tr_net_rt.Wakeup
 module Codecs = Tr_wire.Codecs
 
 (* Fast wall clock: 0.2 ms per unit keeps every run below a second. *)
@@ -24,6 +26,8 @@ let test_loopback_smoke () =
   Alcotest.(check bool) "grants reached" true (report.Cluster.grants >= 300);
   Alcotest.(check int) "zero decode errors" 0 report.Cluster.decode_errors;
   Alcotest.(check string) "backend" "loopback" report.Cluster.backend;
+  Alcotest.(check string) "no readiness set on loopback" "none"
+    report.Cluster.readiness;
   Alcotest.(check bool)
     "frames flowed" true
     (report.Cluster.frames_received > 0)
@@ -292,6 +296,301 @@ let test_unix_sockets_cluster () =
       Alcotest.(check int) "zero decode errors" 0 report.Cluster.decode_errors;
       Alcotest.(check string) "backend" "unix" report.Cluster.backend)
 
+(* ---------------- readiness backends ---------------- *)
+
+let available_backends () =
+  List.filter Readiness.available [ Readiness.Epoll; Readiness.Poll; Readiness.Select ]
+
+(* Register / report / level-trigger / remove, for every backend this
+   build can create. *)
+let test_readiness_basic () =
+  List.iter
+    (fun backend ->
+      let name = Readiness.backend_name backend in
+      let rd = Readiness.create ~backend () in
+      let r, w = Unix.pipe () in
+      Readiness.set rd r ~read:true ~write:false;
+      Alcotest.(check int) (name ^ ": registered") 1 (Readiness.fds_registered rd);
+      let cb ~fd:_ ~readable:_ ~writable:_ = () in
+      Alcotest.(check int)
+        (name ^ ": idle pipe not ready")
+        0
+        (Readiness.wait rd ~timeout_s:0.0 cb);
+      ignore (Unix.write_substring w "x" 0 1);
+      Alcotest.(check int)
+        (name ^ ": ready after write")
+        1
+        (Readiness.wait rd ~timeout_s:1.0 cb);
+      Alcotest.(check int)
+        (name ^ ": level-triggered re-report")
+        1
+        (Readiness.wait rd ~timeout_s:0.0 cb);
+      Readiness.remove rd r;
+      Alcotest.(check int)
+        (name ^ ": removed fd silent")
+        0
+        (Readiness.wait rd ~timeout_s:0.0 cb);
+      Unix.close r;
+      Unix.close w;
+      Readiness.close rd)
+    (available_backends ())
+
+(* Unknown backend names fail loudly (a forced backend silently
+   downgrading would invalidate benchmarks), and the unforced default
+   follows the epoll -> poll fallback chain. *)
+let test_readiness_config () =
+  (match Readiness.backend_of_string "bogus" with
+  | Error e ->
+      Alcotest.(check bool)
+        "error names the choices" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "bogus backend accepted");
+  (match Readiness.backend_of_string " Poll " with
+  | Ok Readiness.Poll -> ()
+  | _ -> Alcotest.fail "trimmed/cased parse failed");
+  let saved = Sys.getenv_opt "TR_READINESS" in
+  Unix.putenv "TR_READINESS" "bogus";
+  (match Readiness.default_backend () with
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "failure names TR_READINESS" true
+        (String.length msg >= 12 && String.sub msg 0 12 = "TR_READINESS")
+  | _ -> Alcotest.fail "unknown TR_READINESS did not fail");
+  (* An empty value reads as unset, so restoring is always possible. *)
+  Unix.putenv "TR_READINESS" (Option.value saved ~default:"");
+  if saved = None || saved = Some "" then begin
+    let expect =
+      if Readiness.available Readiness.Epoll then Readiness.Epoll
+      else Readiness.Poll
+    in
+    Alcotest.(check string)
+      "default is first of the fallback chain"
+      (Readiness.backend_name expect)
+      (Readiness.backend_name (Readiness.default_backend ()))
+  end
+
+(* A burst of wakes must fully drain: stale readability would turn every
+   later wait into an immediate return and spin the shard at 100% CPU. *)
+let test_wakeup_drain () =
+  let wake = Wakeup.create () in
+  let rd = Readiness.create () in
+  Readiness.set rd (Wakeup.read_fd wake) ~read:true ~write:false;
+  let cb ~fd:_ ~readable:_ ~writable:_ = () in
+  for _ = 1 to 1000 do
+    Wakeup.wake wake
+  done;
+  Alcotest.(check int)
+    "wake burst visible" 1
+    (Readiness.wait rd ~timeout_s:1.0 cb);
+  Wakeup.drain wake;
+  Alcotest.(check int)
+    "drained pipe is silent" 0
+    (Readiness.wait rd ~timeout_s:0.0 cb);
+  Wakeup.wake wake;
+  Alcotest.(check int)
+    "wake after drain still wakes" 1
+    (Readiness.wait rd ~timeout_s:1.0 cb);
+  Wakeup.drain wake;
+  Alcotest.(check int)
+    "second drain silent again" 0
+    (Readiness.wait rd ~timeout_s:0.0 cb);
+  Readiness.remove rd (Wakeup.read_fd wake);
+  Readiness.close rd;
+  Wakeup.close wake
+
+(* The env var must reach a real transport end-to-end: a sockets
+   transport created with no explicit backend under TR_READINESS=poll
+   waits in poll. *)
+let test_readiness_env_forcing () =
+  let saved = Sys.getenv_opt "TR_READINESS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "TR_READINESS" (Option.value saved ~default:""))
+    (fun () ->
+      Unix.putenv "TR_READINESS" "poll";
+      with_temp_dir (fun dir ->
+          let addrs = Transport.uds_addrs ~dir ~n:2 in
+          let clock = Tr_net_rt.Clock.create ~unit_s:1e-3 () in
+          let t = Transport.sockets ~clock ~n:2 ~owned:[ 0; 1 ] ~addrs () in
+          Fun.protect
+            ~finally:(fun () -> Transport.close t)
+            (fun () ->
+              Alcotest.(check string)
+                "TR_READINESS=poll forces the transport backend" "poll"
+                (Transport.readiness_backend t))))
+
+(* ---------------- backend parity over real sockets ---------------- *)
+
+(* The same closed-loop UDS ring, forced onto each backend in turn: the
+   token is unique, so a single-shard run's processed-token sequence is
+   deterministic and must be byte-identical across epoll, poll and
+   select. Also pins the observability satellite: the report names the
+   forced backend and carries live wait counters. *)
+let capture_sockets_ring_log ~backend ~n ~grants ~keep =
+  with_temp_dir (fun dir ->
+      let addrs = Transport.uds_addrs ~dir ~n in
+      let config =
+        {
+          (Cluster.default_config ~n ~seed:7) with
+          unit_s = 1e-3;
+          shards = 1;
+          load = Cluster.Closed_loop { depth = 1 };
+          stop = Cluster.Grants grants;
+          max_wall_s = 30.0;
+          readiness = Some backend;
+        }
+      in
+      let mu = Mutex.create () in
+      let log = ref [] in
+      let count = ref 0 in
+      let tap _control ~self (Tr_proto.Ring.Token { stamp }) =
+        Mutex.lock mu;
+        if !count < keep then begin
+          log := Printf.sprintf "%d T %d" self stamp :: !log;
+          incr count
+        end;
+        Mutex.unlock mu
+      in
+      let report =
+        Cluster.run ~tap
+          ~backend:(Cluster.Sockets { owned = List.init n Fun.id; addrs })
+          config
+          (module Tr_proto.Ring)
+          Codecs.ring
+      in
+      (report, String.concat "\n" (List.rev !log)))
+
+let test_backend_parity () =
+  let runs =
+    List.map
+      (fun backend ->
+        let report, log =
+          capture_sockets_ring_log ~backend ~n:3 ~grants:60 ~keep:40
+        in
+        let name = Readiness.backend_name backend in
+        Alcotest.(check string)
+          (name ^ ": report names the backend")
+          name report.Cluster.readiness;
+        Alcotest.(check int)
+          (name ^ ": zero decode errors")
+          0 report.Cluster.decode_errors;
+        Alcotest.(check bool)
+          (name ^ ": waits counted")
+          true
+          (report.Cluster.wait_calls > 0);
+        Alcotest.(check bool)
+          (name ^ ": fd gauge positive")
+          true
+          (report.Cluster.fds_registered > 0);
+        Alcotest.(check bool)
+          (name ^ ": ready-per-wait sane")
+          true
+          (report.Cluster.avg_ready_per_wait > 0.0);
+        (name, log))
+      (available_backends ())
+  in
+  match runs with
+  | [] -> Alcotest.fail "no readiness backend available"
+  | (name0, log0) :: rest ->
+      List.iter
+        (fun (name, log) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s token log == %s token log" name name0)
+            log0 log)
+        rest
+
+(* Feed frames to a hosted listener through a raw socket in adversarial
+   chunks (byte-by-byte, then 3-byte slices) under each forced backend:
+   the stream decoder must deliver each frame exactly once, with no
+   resync skips and no decode errors, regardless of how reads split. *)
+let test_adversarial_chunking () =
+  List.iter
+    (fun backend ->
+      let name = Readiness.backend_name backend in
+      with_temp_dir (fun dir ->
+          let n = 2 in
+          let addrs = Transport.uds_addrs ~dir ~n in
+          let clock = Tr_net_rt.Clock.create ~unit_s:1e-3 () in
+          let t =
+            Transport.sockets ~readiness:backend ~clock ~n ~owned:[ 1 ] ~addrs
+              ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Transport.close t)
+            (fun () ->
+              let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Fun.protect
+                ~finally:(fun () -> try Unix.close s with _ -> ())
+                (fun () ->
+                  Unix.connect s addrs.(1);
+                  let frame stamp =
+                    Tr_wire.Codec.encode_envelope Codecs.ring ~src:0
+                      ~channel:Network.Reliable
+                      (Tr_proto.Ring.Token { stamp })
+                  in
+                  let got = ref [] in
+                  let on_frame view =
+                    match Tr_wire.Codec.decode_view Codecs.ring view with
+                    | Ok
+                        {
+                          Tr_wire.Codec.src;
+                          msg = Tr_proto.Ring.Token { stamp };
+                          _;
+                        } ->
+                        got := (src, stamp) :: !got
+                    | Error _ -> Alcotest.failf "%s: decode error" name
+                  in
+                  let pump_until k =
+                    let deadline = Unix.gettimeofday () +. 5.0 in
+                    while
+                      List.length !got < k && Unix.gettimeofday () < deadline
+                    do
+                      Transport.wait t ~owners:[ 1 ] ~timeout_s:0.05 ();
+                      Transport.poll t ~owner:1 on_frame
+                    done
+                  in
+                  let send_chunked data ~chunk =
+                    String.iteri
+                      (fun i _ ->
+                        if i mod chunk = 0 then begin
+                          let len =
+                            Stdlib.min chunk (String.length data - i)
+                          in
+                          ignore (Unix.write_substring s data i len);
+                          (* Let the reader see this fragment alone. *)
+                          Transport.wait t ~owners:[ 1 ] ~timeout_s:0.002 ();
+                          Transport.poll t ~owner:1 on_frame
+                        end)
+                      data
+                  in
+                  let f1 = frame 11 in
+                  (* All but the last byte: nothing may be delivered. *)
+                  send_chunked
+                    (String.sub f1 0 (String.length f1 - 1))
+                    ~chunk:1;
+                  Alcotest.(check int)
+                    (name ^ ": partial frame not delivered")
+                    0 (List.length !got);
+                  ignore
+                    (Unix.write_substring s f1 (String.length f1 - 1) 1);
+                  pump_until 1;
+                  send_chunked (frame 12) ~chunk:3;
+                  pump_until 2;
+                  Alcotest.(check (list (pair int int)))
+                    (name ^ ": both frames exactly once")
+                    [ (0, 11); (0, 12) ]
+                    (List.rev !got);
+                  let stats = Transport.stats t in
+                  Alcotest.(check int)
+                    (name ^ ": no resync skips")
+                    0
+                    (Atomic.get stats.Transport.resync_skips);
+                  Alcotest.(check int)
+                    (name ^ ": no decode errors")
+                    0
+                    (Atomic.get stats.Transport.decode_errors)))))
+    (available_backends ())
+
 (* ---------------- loopback golden guard ---------------- *)
 
 (* Semantic byte-identity of the live loopback runtime across I/O
@@ -466,6 +765,21 @@ let () =
       ( "sockets",
         [ Alcotest.test_case "unix-domain cluster" `Quick
             test_unix_sockets_cluster ] );
+      ( "readiness",
+        [
+          Alcotest.test_case "register/report/remove" `Quick
+            test_readiness_basic;
+          Alcotest.test_case "config errors + fallback chain" `Quick
+            test_readiness_config;
+          Alcotest.test_case "TR_READINESS reaches the transport" `Quick
+            test_readiness_env_forcing;
+          Alcotest.test_case "wake pipe drains to EAGAIN" `Quick
+            test_wakeup_drain;
+          Alcotest.test_case "backend parity on a UDS ring" `Quick
+            test_backend_parity;
+          Alcotest.test_case "adversarial chunking per backend" `Quick
+            test_adversarial_chunking;
+        ] );
       ( "golden",
         [
           Alcotest.test_case "loopback ring token sequence" `Quick
