@@ -629,17 +629,22 @@ let run_fleet ~procs ~addrs (config : config) packed =
   in
   close_in ic;
   if not ok then failwith "fleet child exited abnormally";
+  (* Lines arrive in pipe order, i.e. whichever child finished first;
+     sort by the reported child index to honour the slice-order doc. *)
   List.filter_map Fun.id lines
   |> List.map (fun line ->
          Scanf.sscanf line "%d %d %d %f %f %f %d %d %d"
-           (fun _p g f w r p99 waits fds de ->
-             {
-               m_grants = g;
-               m_frames_sent = f;
-               m_wall_s = w;
-               m_resp_mean = r;
-               m_resp_p99 = p99;
-               m_wait_calls = waits;
-               m_fds_registered = fds;
-               m_decode_errors = de;
-             }))
+           (fun p g f w r p99 waits fds de ->
+             ( p,
+               {
+                 m_grants = g;
+                 m_frames_sent = f;
+                 m_wall_s = w;
+                 m_resp_mean = r;
+                 m_resp_p99 = p99;
+                 m_wait_calls = waits;
+                 m_fds_registered = fds;
+                 m_decode_errors = de;
+               } )))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd

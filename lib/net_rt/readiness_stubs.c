@@ -4,8 +4,11 @@
 
    All fds cross the boundary as plain ints — Unix.file_descr is an int
    on every Unix OCaml port. Blocking waits release the OCaml runtime
-   lock so other domains keep running, and results are staged in local
-   buffers before being copied into OCaml arrays after reacquisition. */
+   lock so other domains keep running; while the lock is released a
+   stop-the-world GC may move any heap block (the backend's result
+   arrays included), so every value touched after reacquisition is
+   registered as a root with CAMLparam, and errno is captured inside
+   the blocking section before pending OCaml actions can clobber it. */
 
 #ifndef _GNU_SOURCE
 #define _GNU_SOURCE
@@ -34,13 +37,14 @@
 #define TR_RD_READ 1
 #define TR_RD_WRITE 2
 
-static void tr_rd_fail(const char *what)
+static void tr_rd_fail_err(const char *what, int err)
 {
   char msg[256];
-  snprintf(msg, sizeof(msg), "Readiness: %s failed: %s", what,
-           strerror(errno));
+  snprintf(msg, sizeof(msg), "Readiness: %s failed: %s", what, strerror(err));
   caml_failwith(msg);
 }
+
+static void tr_rd_fail(const char *what) { tr_rd_fail_err(what, errno); }
 
 CAMLprim value tr_rd_has_epoll(value unit)
 {
@@ -85,9 +89,11 @@ CAMLprim value tr_rd_epoll_ctl(value epfd, value op, value fd, value events)
 CAMLprim value tr_rd_epoll_wait(value epfd, value fds, value flags,
                                 value timeout_ns)
 {
+  CAMLparam4(epfd, fds, flags, timeout_ns);
   struct epoll_event evs[TR_RD_MAX_EVENTS];
   int cap = Wosize_val(fds);
-  int n, i;
+  int ep = Int_val(epfd);
+  int n, i, err;
   long long ns = Long_val(timeout_ns);
   if (cap > TR_RD_MAX_EVENTS) cap = TR_RD_MAX_EVENTS;
   caml_enter_blocking_section();
@@ -101,21 +107,23 @@ CAMLprim value tr_rd_epoll_wait(value epfd, value fds, value flags,
     struct timespec ts;
     ts.tv_sec = ns / 1000000000LL;
     ts.tv_nsec = ns % 1000000000LL;
-    n = epoll_pwait2(Int_val(epfd), evs, cap, &ts, NULL);
+    n = epoll_pwait2(ep, evs, cap, &ts, NULL);
     if (n == -1 && errno == ENOSYS) {
       int ms = (int)((ns + 999999LL) / 1000000LL);
-      n = epoll_wait(Int_val(epfd), evs, cap, ms);
+      n = epoll_wait(ep, evs, cap, ms);
     }
   }
 #else
-  n = epoll_wait(Int_val(epfd), evs, cap,
-                 (int)((ns + 999999LL) / 1000000LL));
+  n = epoll_wait(ep, evs, cap, (int)((ns + 999999LL) / 1000000LL));
 #endif
+  err = errno;
   caml_leave_blocking_section();
   if (n == -1) {
-    if (errno == EINTR) return Val_int(0);
-    tr_rd_fail("epoll_wait");
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    tr_rd_fail_err("epoll_wait", err);
   }
+  /* fds/flags are roots, so they track the arrays even if a GC moved
+     them while this domain was blocked. */
   for (i = 0; i < n; i++) {
     int f = 0;
     /* Errors and hangups surface as readability (a read returns the
@@ -127,7 +135,7 @@ CAMLprim value tr_rd_epoll_wait(value epfd, value fds, value flags,
     Field(fds, i) = Val_int(evs[i].data.fd);
     Field(flags, i) = Val_int(f);
   }
-  return Val_int(n);
+  CAMLreturn(Val_int(n));
 }
 
 #else /* !__linux__ */
@@ -158,8 +166,9 @@ CAMLprim value tr_rd_epoll_wait(value epfd, value fds, value flags,
 CAMLprim value tr_rd_poll(value fds, value events, value revents, value nfds,
                           value timeout_ns)
 {
+  CAMLparam5(fds, events, revents, nfds, timeout_ns);
   int n = Int_val(nfds);
-  int ready, i;
+  int ready, i, err;
   long long ns = Long_val(timeout_ns);
   struct timespec ts;
   struct pollfd *pfds = malloc(sizeof(struct pollfd) * (n > 0 ? n : 1));
@@ -179,16 +188,18 @@ CAMLprim value tr_rd_poll(value fds, value events, value revents, value nfds,
 #else
   ready = poll(pfds, n, (int)((ns + 999999LL) / 1000000LL));
 #endif
+  err = errno;
   caml_leave_blocking_section();
+  /* revents is a root, so it tracks the array even if a GC moved it
+     while this domain was blocked. The dense arrays start small enough
+     to live on the minor heap, where motion is the common case. */
   if (ready == -1) {
-    int e = errno;
     free(pfds);
-    if (e == EINTR) {
+    if (err == EINTR) {
       for (i = 0; i < n; i++) Field(revents, i) = Val_int(0);
-      return Val_int(0);
+      CAMLreturn(Val_int(0));
     }
-    errno = e;
-    tr_rd_fail("poll");
+    tr_rd_fail_err("poll", err);
   }
   for (i = 0; i < n; i++) {
     int f = 0;
@@ -198,7 +209,7 @@ CAMLprim value tr_rd_poll(value fds, value events, value revents, value nfds,
     Field(revents, i) = Val_int(f);
   }
   free(pfds);
-  return Val_int(ready);
+  CAMLreturn(Val_int(ready));
 }
 
 /* Raise RLIMIT_NOFILE as far as this process may: first to a megafd

@@ -748,6 +748,12 @@ module Sockets = struct
             set.retry_outs
       end;
       Atomic.incr stats.wait_calls;
+      (* Idle-Out connections torn down by the peer (ERR/HUP with zero
+         write interest) are collected here and dropped only after the
+         dispatch loop finishes: Readiness.wait's callback must not
+         mutate the set, and an eager remove would swap-compact the poll
+         backend's dense arrays mid-iteration. *)
+      let dead_outs = ref [] in
       let ready =
         Readiness.wait set.rd ~timeout_s:!timeout
           (fun ~fd ~readable ~writable ->
@@ -768,17 +774,21 @@ module Sockets = struct
                 if queued co = 0 then begin
                   (* Zero interest, yet an event: only ERR/HUP can land
                      here — the peer closed an idle connection. Drop it
-                     now or level-triggered epoll reports it on every
-                     wait. *)
+                     (deferred) or level-triggered epoll reports it on
+                     every wait. *)
                   match co.fd with
                   | Some cfd when fd_int cfd = fd ->
-                      unreg stats set cfd;
-                      close_quietly cfd;
-                      co.fd <- None
+                      dead_outs := (cfd, co) :: !dead_outs
                   | _ -> ()
                 end
                 else if writable then on_ready node.id)
       in
+      List.iter
+        (fun (cfd, co) ->
+          unreg stats set cfd;
+          close_quietly cfd;
+          co.fd <- None)
+        !dead_outs;
       if ready > 0 then ignore (Atomic.fetch_and_add stats.fds_ready ready)
     in
     let close () =
