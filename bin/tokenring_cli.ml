@@ -371,6 +371,121 @@ let spec_cmd =
        ~doc:"Print a system's rewriting rules; optionally reduce or export its state graph")
     Term.(const run $ which $ n $ budget $ dot $ steps)
 
+(* ---------------- explore ---------------- *)
+
+let explore_cmd =
+  let run which n budget max_states max_depth jobs spill json =
+    let systems =
+      spec_systems n
+      @ [
+          ( "msgpass-faulty",
+            Tr_specs.System_msgpass.system_faulty ~n,
+            Tr_specs.System_msgpass.initial ~n );
+        ]
+    in
+    match List.find_opt (fun (name, _, _) -> String.equal name which) systems with
+    | None ->
+        Format.printf "unknown system %S; known: %s@." which
+          (String.concat ", " (List.map (fun (s, _, _) -> s) systems));
+        exit 2
+    | Some (name, system, initial) ->
+        let check =
+          match name with
+          | "S" -> Tr_specs.Prefix.check_s
+          | "S1" -> Tr_specs.Prefix.check_s1
+          | "token" -> Tr_specs.Prefix.check_token
+          | "msgpass" | "msgpass-faulty" -> Tr_specs.Prefix.check_msgpass
+          | "search" -> Tr_specs.Prefix.check_search
+          | "binsearch" -> Tr_specs.Prefix.check_binsearch
+          | _ -> fun _ -> Ok ()
+        in
+        let init = initial ~data_budget:budget in
+        let o =
+          with_jobs jobs (fun pool ->
+              Tr_trs.Explore.explore ~max_states ?max_depth ~check ?pool
+                ?spill_dir:spill system ~init)
+        in
+        let s = o.Tr_trs.Explore.stats in
+        let p = o.Tr_trs.Explore.perf in
+        (* perf goes to stderr: stdout is deterministic across domain
+           counts and runs, so CI can diff -j 1 against -j 2 output. *)
+        Format.eprintf
+          "explore: %.2f s, %.0f states/s, %d domain%s, peak RSS %d kB, %d \
+           spilled layers (%d bytes)@."
+          p.Tr_trs.Explore.wall_s p.Tr_trs.Explore.states_per_s
+          p.Tr_trs.Explore.domains_used
+          (if p.Tr_trs.Explore.domains_used = 1 then "" else "s")
+          p.Tr_trs.Explore.peak_rss_kb p.Tr_trs.Explore.spilled_layers
+          p.Tr_trs.Explore.spilled_bytes;
+        if json then
+          Format.printf
+            "{\"system\": \"%s\", \"n\": %d, \"budget\": %d, \"states\": %d, \
+             \"transitions\": %d, \"max_depth\": %d, \"truncated\": %b, \
+             \"violations\": %d, \"wall_s\": %.4f, \"states_per_s\": %.0f, \
+             \"domains\": %d, \"peak_rss_kb\": %d, \"spilled_layers\": %d, \
+             \"spilled_bytes\": %d}@."
+            name n budget s.Tr_trs.Explore.states s.Tr_trs.Explore.transitions
+            s.Tr_trs.Explore.max_depth s.Tr_trs.Explore.truncated
+            (List.length o.Tr_trs.Explore.violations) p.Tr_trs.Explore.wall_s
+            p.Tr_trs.Explore.states_per_s p.Tr_trs.Explore.domains_used
+            p.Tr_trs.Explore.peak_rss_kb p.Tr_trs.Explore.spilled_layers
+            p.Tr_trs.Explore.spilled_bytes
+        else begin
+          Format.printf "system: %s@.states: %d@.transitions: %d@.max-depth: \
+                         %d@.truncated: %b@.violations: %d@."
+            name s.Tr_trs.Explore.states s.Tr_trs.Explore.transitions
+            s.Tr_trs.Explore.max_depth s.Tr_trs.Explore.truncated
+            (List.length o.Tr_trs.Explore.violations);
+          List.iteri
+            (fun i v ->
+              if i < 10 then
+                Format.printf "  violation at depth %d: %s@."
+                  v.Tr_trs.Explore.depth v.Tr_trs.Explore.message)
+            o.Tr_trs.Explore.violations;
+          if List.length o.Tr_trs.Explore.violations > 10 then
+            Format.printf "  ... (%d more)@."
+              (List.length o.Tr_trs.Explore.violations - 10)
+        end
+  in
+  let which =
+    Arg.(
+      value & pos 0 string "msgpass"
+      & info [] ~docv:"SYSTEM"
+          ~doc:"S, S1, token, msgpass, search, binsearch, msgpass-faulty.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Instance size.") in
+  let budget =
+    Arg.(value & opt int 1 & info [ "budget" ] ~docv:"B" ~doc:"Per-node datum budget.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-states" ] ~docv:"M" ~doc:"Visited-state cap.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-depth" ] ~docv:"D" ~doc:"BFS depth bound.")
+  in
+  let spill =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spill" ] ~docv:"DIR"
+          ~doc:
+            "Spill frontier layers to temp files under $(docv) and keep only \
+             marshalled visited keys in memory (bounds RSS; forgoes the \
+             in-memory visited order).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively explore a system's state space, checking the prefix \
+          property on every state (parallel with -j, memory-bounded with \
+          --spill)")
+    Term.(
+      const run $ which $ n $ budget $ max_states $ max_depth $ jobs $ spill
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit stats+perf as JSON."))
+
 (* ---------------- trace ---------------- *)
 
 let trace_cmd =
@@ -849,4 +964,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd;
-            trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd ]))
+            explore_cmd; trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd ]))

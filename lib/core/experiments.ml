@@ -6,6 +6,7 @@ type result = {
   id : string;
   title : string;
   expectation : string;
+  notes : (string * string) list;
   series : Series.t list;
   table : Series.Table.t;
 }
@@ -74,6 +75,7 @@ let fig9 ?pool ?(quick = false) ?(seed = 42) () =
     expectation =
       "ring approaches 10 (the mean interarrival) as N grows; binsearch \
        stays bounded by ~log2(N)";
+    notes = [];
     series = [ ring; bin; reference ];
     table = Series.Table.of_series ~x_label:"n" [ ring; bin; reference ];
   }
@@ -126,6 +128,7 @@ let fig10 ?pool ?(quick = false) ?(seed = 42) () =
     expectation =
       "as the load decreases, ring's responsiveness approaches n/2 = 50 \
        while binsearch approaches log2(100) ~ 6.6 from below";
+    notes = [];
     series = [ ring; bin; half_n; logn ];
     table = Series.Table.of_series ~x_label:"interarrival" [ ring; bin; half_n; logn ];
   }
@@ -187,6 +190,7 @@ let large_n ?pool ?(quick = false) ?(seed = 42) () =
       "ring's mean and p99 grow linearly with N while binsearch stays \
        within a small multiple of log2(N); the gap exceeds two orders of \
        magnitude by N = 16384";
+    notes = [];
     series = [ ring; ring_p99; bin; bin_p99; half_n; logn ];
     table =
       Series.Table.of_series ~x_label:"n"
@@ -251,6 +255,7 @@ let lem4 ?pool ?(quick = false) ?(seed = 42) () =
     id = "LEM4";
     title = "Worst-case single-request waiting time, ring";
     expectation = "grows linearly: O(N) responsiveness (Lemma 4)";
+    notes = [];
     series = [ waiting; linear ];
     table = Series.Table.of_series ~x_label:"n" [ waiting; linear ];
   }
@@ -269,6 +274,7 @@ let thm2 ?pool ?(quick = false) ?(seed = 42) () =
     id = "THM2";
     title = "Worst-case single-request waiting time, binsearch";
     expectation = "grows logarithmically: O(log N) responsiveness (Theorem 2)";
+    notes = [];
     series = [ waiting; reference ];
     table = Series.Table.of_series ~x_label:"n" [ waiting; reference ];
   }
@@ -287,6 +293,7 @@ let lem6 ?pool ?(quick = false) ?(seed = 42) () =
     id = "LEM6";
     title = "Search-message forwards per request, binsearch";
     expectation = "a request is forwarded O(log N) times (Lemma 6)";
+    notes = [];
     series = [ forwards; reference ];
     table = Series.Table.of_series ~x_label:"n" [ forwards; reference ];
   }
@@ -359,6 +366,7 @@ let thm3 ?(quick = false) ?(seed = 42) () =
     expectation =
       "no single other node holds the token more than ~log N times, and \
        total possessions stay within ~N + log N (Theorem 3)";
+    notes = [];
     series = [ single; total; logn; budget ];
     table = Series.Table.of_series ~x_label:"n" [ single; total; logn; budget ];
   }
@@ -406,6 +414,7 @@ let opt_messages ?(quick = false) ?(seed = 42) () =
       "delegated binsearch ~log N; directed ~2 log N; sequential ~N; \
        Suzuki-Kasami broadcasts ~N; throttling and trap GC reduce the \
        delegated count";
+    notes = [];
     series;
     table = Series.Table.of_series ~x_label:"n" series;
   }
@@ -444,6 +453,7 @@ let tree_balance ?(quick = false) ?(seed = 42) () =
     expectation =
       "ring and binsearch spread possessions evenly (imbalance ~1); the \
        fixed tree concentrates traffic on interior nodes (§5)";
+    notes = [];
     series;
     table = Series.Table.of_series ~x_label:"n" series;
   }
@@ -485,6 +495,7 @@ let adaptive_idle ?(quick = false) ?(seed = 42) () =
       "the plain ring burns ~interarrival token hops per serve; adaptive \
        speed caps the idle cost; push-pull parks the token and pays O(1) \
        expensive messages per serve";
+    notes = [];
     series;
     table = Series.Table.of_series ~x_label:"interarrival" series;
   }
@@ -520,6 +531,7 @@ let dist ?(quick = false) ?(seed = 42) () =
         "Responsiveness percentiles (n = %d, fixed load) — tail behaviour          the paper's averages hide" n;
     expectation =
       "binsearch dominates at every percentile; the ring's tail stretches        toward the full rotation time while binsearch's stays within a few        log2(n)";
+    notes = [];
     series;
     table = Series.Table.of_series ~x_label:"percentile" series;
   }
@@ -559,6 +571,7 @@ let warmup ?(quick = false) ?(seed = 42) () =
         "Running mean waiting time vs serves (window %d, n = %d)" window n;
     expectation =
       "both protocols converge to their steady-state statistic well before        the paper's 1000-rounds horizon; binsearch's level sits below the        ring's";
+    notes = [];
     series;
     table = Series.Table.of_series ~x_label:"serves" series;
   }
@@ -580,20 +593,23 @@ let spec_space ?pool ?(quick = false) ?seed:_ () =
     ]
   in
   let sizes = [ 2; 3 ] in
-  let jobs =
+  (* Unlike the sweep experiments, a pool here parallelises {e inside}
+     each exploration (the sharded engine), not across jobs — Pool.map
+     cannot be re-entered from worker jobs, and a single big exploration
+     is exactly the workload the sharded engine exists for. The visited
+     counts are deterministic across domain counts, so the table stays
+     byte-identical with and without a pool. *)
+  let results =
     List.concat_map
-      (fun (_, make_spec) -> List.map (fun n -> (make_spec, n)) sizes)
+      (fun (_, make_spec) ->
+        List.map
+          (fun n ->
+            let system, init = make_spec n in
+            Tr_trs.Explore.explore ~max_states:cap ?pool system ~init)
+          sizes)
       specs
   in
-  let counts =
-    pmap ?pool
-      (fun (make_spec, n) ->
-        let system, init = make_spec n in
-        let stats, _ = Tr_trs.Explore.bfs ~max_states:cap system ~init in
-        stats.Tr_trs.Explore.states)
-      jobs
-  in
-  let remaining = ref counts in
+  let remaining = ref results in
   let series =
     List.map
       (fun (label, _) ->
@@ -601,13 +617,22 @@ let spec_space ?pool ?(quick = false) ?seed:_ () =
         List.iter
           (fun n ->
             match !remaining with
-            | states :: rest ->
+            | o :: rest ->
                 remaining := rest;
-                Series.add s ~x:(float_of_int n) ~y:(float_of_int states)
+                Series.add s ~x:(float_of_int n)
+                  ~y:(float_of_int o.Tr_trs.Explore.stats.Tr_trs.Explore.states)
             | [] -> assert false)
           sizes;
         s)
       specs
+  in
+  let total_states, total_wall, domains =
+    List.fold_left
+      (fun (states, wall, _) (o : Tr_trs.Explore.outcome) ->
+        ( states + o.stats.Tr_trs.Explore.states,
+          wall +. o.perf.Tr_trs.Explore.wall_s,
+          o.perf.Tr_trs.Explore.domains_used ))
+      (0, 0.0, 1) results
   in
   {
     id = "SPACE";
@@ -616,6 +641,15 @@ let spec_space ?pool ?(quick = false) ?seed:_ () =
         "Reachable states per specification (budget 1, capped at %d)" cap;
     expectation =
       "each refinement step multiplies the state space: the abstract        systems stay tiny while the distributed ones hit the exploration        cap — the reason the paper separates correctness from performance";
+    notes =
+      [
+        ( "states_per_s",
+          Printf.sprintf "%.0f"
+            (if total_wall > 0.0 then float_of_int total_states /. total_wall
+             else 0.0) );
+        ("domains", string_of_int domains);
+        ("peak_rss_kb", string_of_int (Tr_trs.Explore.peak_rss_kb ()));
+      ];
     series;
     table = Series.Table.of_series ~x_label:"n" series;
   }
@@ -641,5 +675,10 @@ let pp_result ppf r =
   let pp_plot ppf series =
     Tr_stats.Plot.pp ~width:60 ~height:14 ~x_label:"x" ~y_label:"y" ppf series
   in
-  Format.fprintf ppf "=== %s: %s ===@\nexpectation: %s@\n%a@\n%a" r.id r.title
-    r.expectation Series.Table.pp r.table pp_plot r.series
+  let pp_notes ppf = function
+    | [] -> ()
+    | notes ->
+        List.iter (fun (k, v) -> Format.fprintf ppf "%s: %s@\n" k v) notes
+  in
+  Format.fprintf ppf "=== %s: %s ===@\nexpectation: %s@\n%a%a@\n%a" r.id r.title
+    r.expectation pp_notes r.notes Series.Table.pp r.table pp_plot r.series

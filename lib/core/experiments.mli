@@ -20,6 +20,10 @@ type result = {
   id : string;  (** "FIG9", "LEM6", ... — DESIGN.md's experiment index. *)
   title : string;
   expectation : string;
+  notes : (string * string) list;
+      (** Run metadata (throughput, domains, peak RSS, ...) — printed
+          after the expectation and exported as the JSON "meta" object.
+          Unlike [table], notes may vary run to run (timings). *)
   series : Tr_stats.Series.t list;  (** The raw curves the table aligns. *)
   table : Tr_stats.Series.Table.t;
 }
@@ -79,7 +83,10 @@ val warmup : ?quick:bool -> ?seed:int -> unit -> result
 
 val spec_space : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result
 (** Methodology artefact: reachable-state counts of the six
-    specifications — how much detail each refinement step adds. *)
+    specifications — how much detail each refinement step adds. A pool
+    parallelises {e inside} each exploration via the sharded engine
+    (counts are deterministic, the table is byte-identical across domain
+    counts); [notes] carries aggregate states/s, domains, and peak RSS. *)
 
 val all : ?pool:Tr_sim.Pool.t -> ?quick:bool -> ?seed:int -> unit -> result list
 (** Every experiment, in DESIGN.md index order. *)

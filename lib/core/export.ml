@@ -80,15 +80,36 @@ let series_json s =
        (Tr_stats.Series.points s))
 
 let result_to_json (r : Experiments.result) =
+  (* Notes whose value parses as a number are exported as JSON numbers
+     (throughput, RSS), the rest as strings. *)
+  let meta =
+    match r.notes with
+    | [] -> []
+    | notes ->
+        [
+          ( "meta",
+            obj
+              (List.map
+                 (fun (k, v) ->
+                   ( k,
+                     match float_of_string_opt v with
+                     | Some _ -> v
+                     | None -> json_string v ))
+                 notes) );
+        ]
+  in
   obj
-    [
-      ("id", json_string r.id);
-      ("title", json_string r.title);
-      ("expectation", json_string r.expectation);
-      ( "series",
-        obj
-          (List.map
-             (fun s -> (Tr_stats.Series.name s, series_json s))
-             r.series) );
-    ]
+    ([
+       ("id", json_string r.id);
+       ("title", json_string r.title);
+       ("expectation", json_string r.expectation);
+     ]
+    @ meta
+    @ [
+        ( "series",
+          obj
+            (List.map
+               (fun s -> (Tr_stats.Series.name s, series_json s))
+               r.series) );
+      ])
   ^ "\n"

@@ -101,17 +101,54 @@ let rule_pass ~choose_y =
     ~extend:(fun s -> extend_each "y" choose_y s)
     ()
 
+(* Fault transitions, opt-in: the network loses an in-flight token, or
+   delivers it twice. Either breaks token uniqueness — the explorer must
+   surface the resulting prefix-property violation (the seed for the
+   chaos/model-checking item: the same faults the live chaos suite will
+   inject, checked exhaustively at small n). *)
+let rule_lose_token =
+  Rule.make ~name:"lose-token"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "I"; msg (Term.Var "a") (Term.Var "b") (tok (Term.Var "H")) ])
+         Term.Wild)
+    ~rhs:(wrap Term.Wild Term.Wild Term.Wild (Term.Var "I") Term.Wild)
+    ()
+
+let rule_dup_token =
+  Rule.make ~name:"dup-token"
+    ~lhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "I"; msg (Term.Var "a") (Term.Var "b") (tok (Term.Var "H")) ])
+         Term.Wild)
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [
+              Term.Var "I";
+              msg (Term.Var "a") (Term.Var "b") (tok (Term.Var "H"));
+              msg (Term.Var "a") (Term.Var "b") (tok (Term.Var "H"));
+            ])
+         Term.Wild)
+    ()
+
 let any_node ~n _subst = List.map node (all_nodes ~n)
 
 let ring_successor ~n subst =
   let x = Subst.find_int subst "x" in
   [ node (forward ~n x 1) ]
 
-let system ~n =
-  System.make ~name:"Message-Passing"
-    ~rules:
-      [ rule_new; rule_transfer; rule_send ~choose_y:(any_node ~n) ~name:"send";
-        rule_receive ]
+let base_rules ~n =
+  [ rule_new; rule_transfer; rule_send ~choose_y:(any_node ~n) ~name:"send";
+    rule_receive ]
+
+let system ~n = System.make ~name:"Message-Passing" ~rules:(base_rules ~n)
+
+let system_faulty ~n =
+  System.make ~name:"Message-Passing+faults"
+    ~rules:(base_rules ~n @ [ rule_lose_token; rule_dup_token ])
 
 let system_ring ~n =
   System.make ~name:"Message-Passing-ring"

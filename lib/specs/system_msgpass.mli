@@ -29,6 +29,14 @@ val system_with_pass : n:int -> System.t
     this extension; the extension itself is safe ([pass] is an S1
     stutter). *)
 
+val system_faulty : n:int -> System.t
+(** Opt-in fault model: [system] plus a [lose-token] rule (the network
+    drops an in-flight token message) and a [dup-token] rule (the network
+    delivers it twice). Both break token uniqueness, so exploring this
+    system with {!Prefix.check_msgpass} must surface prefix-property
+    violations — the exhaustive counterpart of the chaos suite's
+    loss/duplication faults. *)
+
 val initial : n:int -> data_budget:int -> Term.t
 val local_histories : Term.t -> (int * Term.t) list
 

@@ -529,6 +529,262 @@ let test_verify_facade () =
           c.detail)
     liveness
 
+(* ---------------- parallel/sequential exploration parity ---------------- *)
+
+(* The sharded layer-synchronous engine must be observationally identical
+   to the sequential BFS for every domain count: same visited states in
+   the same order, same stats, same rule counts, same violations. *)
+
+let parity_systems =
+  [
+    ( "S",
+      System_s.system ~n:2,
+      System_s.initial ~n:2 ~data_budget:2,
+      Prefix.check_s );
+    ( "S1",
+      System_s1.system ~n:2,
+      System_s1.initial ~n:2 ~data_budget:2,
+      Prefix.check_s1 );
+    ( "Token",
+      System_token.system ~n:2,
+      System_token.initial ~n:2 ~data_budget:2,
+      Prefix.check_token );
+    ( "MsgPass",
+      System_msgpass.system ~n:2,
+      System_msgpass.initial ~n:2 ~data_budget:1,
+      Prefix.check_msgpass );
+    ( "MsgPass+faults",
+      System_msgpass.system_faulty ~n:2,
+      System_msgpass.initial ~n:2 ~data_budget:1,
+      Prefix.check_msgpass );
+    ( "Search",
+      System_search.system ~n:2,
+      System_search.initial ~n:2 ~data_budget:1,
+      Prefix.check_search );
+    ( "BinSearch",
+      System_binsearch.system ~n:2,
+      System_binsearch.initial ~n:2 ~data_budget:1,
+      Prefix.check_binsearch );
+  ]
+
+let check_outcome_equal label (a : Explore.outcome) (b : Explore.outcome) =
+  Alcotest.(check int) (label ^ ": states") a.Explore.stats.Explore.states
+    b.Explore.stats.Explore.states;
+  Alcotest.(check int)
+    (label ^ ": transitions")
+    a.Explore.stats.Explore.transitions b.Explore.stats.Explore.transitions;
+  Alcotest.(check int) (label ^ ": max_depth") a.Explore.stats.Explore.max_depth
+    b.Explore.stats.Explore.max_depth;
+  Alcotest.(check bool) (label ^ ": truncated")
+    a.Explore.stats.Explore.truncated b.Explore.stats.Explore.truncated;
+  Alcotest.(check (list term))
+    (label ^ ": visited order") a.Explore.visited_order b.Explore.visited_order;
+  Alcotest.(check int)
+    (label ^ ": edge count")
+    (List.length a.Explore.edge_list)
+    (List.length b.Explore.edge_list);
+  List.iter2
+    (fun (s1, r1, t1) (s2, r2, t2) ->
+      Alcotest.(check string) (label ^ ": edge rule") r1 r2;
+      Alcotest.(check term) (label ^ ": edge src") s1 s2;
+      Alcotest.(check term) (label ^ ": edge dst") t1 t2)
+    a.Explore.edge_list b.Explore.edge_list;
+  Alcotest.(check int)
+    (label ^ ": violation count")
+    (List.length a.Explore.violations)
+    (List.length b.Explore.violations);
+  List.iter2
+    (fun (v1 : Explore.violation) (v2 : Explore.violation) ->
+      Alcotest.(check term) (label ^ ": violation state") v1.Explore.state
+        v2.Explore.state;
+      Alcotest.(check int) (label ^ ": violation depth") v1.Explore.depth
+        v2.Explore.depth;
+      Alcotest.(check string)
+        (label ^ ": violation message")
+        v1.Explore.message v2.Explore.message)
+    a.Explore.violations b.Explore.violations
+
+(* Caps chosen to also exercise mid-layer truncation (the 700 cap cuts a
+   BFS layer of the bigger systems in half). *)
+let test_parity_all_systems () =
+  List.iter
+    (fun (name, system, init, checker) ->
+      List.iter
+        (fun max_states ->
+          let seq =
+            Explore.explore ~max_states ~check:checker ~want_edges:true system
+              ~init
+          in
+          List.iter
+            (fun domains ->
+              let par =
+                Explore.explore ~max_states ~check:checker ~want_edges:true
+                  ~domains system ~init
+              in
+              check_outcome_equal
+                (Printf.sprintf "%s cap=%d D=%d" name max_states domains)
+                seq par)
+            [ 1; 2; 4 ])
+        [ 700; 3000 ])
+    parity_systems
+
+let test_parity_rule_counts () =
+  List.iter
+    (fun (name, system, init, _) ->
+      let seq = Explore.rule_counts ~max_states:1200 system ~init in
+      let par = Explore.rule_counts ~max_states:1200 ~domains:3 system ~init in
+      Alcotest.(check (list (pair string int))) (name ^ ": rule counts") seq par)
+    parity_systems
+
+let test_parity_max_depth () =
+  List.iter
+    (fun (name, system, init, checker) ->
+      let seq =
+        Explore.explore ~max_depth:4 ~check:checker ~want_edges:true system
+          ~init
+      in
+      let par =
+        Explore.explore ~max_depth:4 ~check:checker ~want_edges:true ~domains:2
+          system ~init
+      in
+      check_outcome_equal (name ^ " depth=4") seq par)
+    parity_systems
+
+(* Spill mode retains no terms, so parity covers stats + violation
+   positions (depth/message) — the visited {e set} equality is implied by
+   states/transitions/max_depth equality layer by layer. *)
+let test_parity_spill () =
+  let dir = Filename.get_temp_dir_name () in
+  List.iter
+    (fun (name, system, init, checker) ->
+      let seq = Explore.explore ~max_states:1500 ~check:checker system ~init in
+      let spill =
+        Explore.explore ~max_states:1500 ~check:checker ~domains:2
+          ~spill_dir:dir ~spill_chunk:64 system ~init
+      in
+      Alcotest.(check int) (name ^ ": states") seq.Explore.stats.Explore.states
+        spill.Explore.stats.Explore.states;
+      Alcotest.(check int)
+        (name ^ ": transitions")
+        seq.Explore.stats.Explore.transitions
+        spill.Explore.stats.Explore.transitions;
+      Alcotest.(check int) (name ^ ": max_depth")
+        seq.Explore.stats.Explore.max_depth
+        spill.Explore.stats.Explore.max_depth;
+      Alcotest.(check bool) (name ^ ": truncated")
+        seq.Explore.stats.Explore.truncated
+        spill.Explore.stats.Explore.truncated;
+      Alcotest.(check int)
+        (name ^ ": violations")
+        (List.length seq.Explore.violations)
+        (List.length spill.Explore.violations);
+      List.iter2
+        (fun (v1 : Explore.violation) (v2 : Explore.violation) ->
+          Alcotest.(check int) (name ^ ": violation depth") v1.Explore.depth
+            v2.Explore.depth;
+          Alcotest.(check string)
+            (name ^ ": violation message")
+            v1.Explore.message v2.Explore.message)
+        seq.Explore.violations spill.Explore.violations;
+      Alcotest.(check (list term)) (name ^ ": spill retains no terms") []
+        spill.Explore.visited_order)
+    parity_systems
+
+(* Rule order determines candidate order inside a state's expansion; the
+   engines must agree for {e any} declaration order, not just the shipped
+   one. *)
+let test_parity_random_rule_orders =
+  let arbitrary_perm =
+    QCheck.make
+      ~print:(fun (which, perm) -> Printf.sprintf "%s %s" which
+                (String.concat "," (List.map string_of_int perm)))
+      QCheck.Gen.(
+        let* which = oneofl [ "MsgPass+faults"; "BinSearch" ] in
+        let rules =
+          match which with
+          | "MsgPass+faults" ->
+              System.rules (System_msgpass.system_faulty ~n:2)
+          | _ -> System.rules (System_binsearch.system ~n:2)
+        in
+        let+ perm = shuffle_l (List.init (List.length rules) Fun.id) in
+        (which, perm))
+  in
+  QCheck.Test.make ~name:"parallel parity under random rule orders" ~count:12
+    arbitrary_perm (fun (which, perm) ->
+      let system, init, checker =
+        match which with
+        | "MsgPass+faults" ->
+            ( System_msgpass.system_faulty ~n:2,
+              System_msgpass.initial ~n:2 ~data_budget:1,
+              Prefix.check_msgpass )
+        | _ ->
+            ( System_binsearch.system ~n:2,
+              System_binsearch.initial ~n:2 ~data_budget:1,
+              Prefix.check_binsearch )
+      in
+      let rules = System.rules system in
+      let shuffled =
+        System.make ~name:"shuffled"
+          ~rules:(List.map (List.nth rules) perm)
+      in
+      let seq =
+        Explore.explore ~max_states:600 ~check:checker ~want_edges:true
+          shuffled ~init
+      in
+      let par =
+        Explore.explore ~max_states:600 ~check:checker ~want_edges:true
+          ~domains:3 shuffled ~init
+      in
+      seq.Explore.visited_order = par.Explore.visited_order
+      && seq.Explore.stats = par.Explore.stats
+      && seq.Explore.edge_list = par.Explore.edge_list
+      && seq.Explore.violations = par.Explore.violations)
+
+(* ---------------- fault transitions ---------------- *)
+
+let test_faulty_msgpass_violates () =
+  (* The opt-in lose/dup-token rules must make the explorer surface
+     prefix-property violations (token uniqueness breaks both ways),
+     while the fault-free system stays clean on the same bounds. *)
+  let init = System_msgpass.initial ~n:2 ~data_budget:1 in
+  let clean, no_violations =
+    Explore.bfs ~max_states:4000 ~check:Prefix.check_msgpass
+      (System_msgpass.system ~n:2) ~init
+  in
+  Alcotest.(check bool) "fault-free exhaustive" false
+    clean.Explore.truncated;
+  Alcotest.(check int) "fault-free clean" 0 (List.length no_violations);
+  let _, violations =
+    Explore.bfs ~max_states:4000 ~max_depth:6 ~check:Prefix.check_msgpass
+      (System_msgpass.system_faulty ~n:2)
+      ~init
+  in
+  let messages =
+    List.sort_uniq String.compare
+      (List.map (fun v -> v.Explore.message) violations)
+  in
+  Alcotest.(check bool) "violations surfaced" true (violations <> []);
+  Alcotest.(check bool) "token loss detected" true
+    (List.exists
+       (fun m -> m = "token uniqueness violated: 0 tokens")
+       messages);
+  Alcotest.(check bool) "token duplication detected" true
+    (List.exists
+       (fun m -> m = "token uniqueness violated: 2 tokens")
+       messages)
+
+let test_faulty_rules_fire () =
+  let fired =
+    List.map fst
+      (Explore.rule_counts ~max_states:2000 ~max_depth:5
+         (System_msgpass.system_faulty ~n:2)
+         ~init:(System_msgpass.initial ~n:2 ~data_budget:1))
+  in
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool) (rule ^ " fires") true (List.mem rule fired))
+    [ "lose-token"; "dup-token" ]
+
 let () =
   Alcotest.run "specs"
     [
@@ -608,4 +864,19 @@ let () =
             test_refine_detects_broken_abstraction;
         ] );
       ("verify-facade", [ Alcotest.test_case "facade" `Quick test_verify_facade ]);
+      ( "explore-parity",
+        [
+          Alcotest.test_case "all systems, D in {1,2,4}" `Quick
+            test_parity_all_systems;
+          Alcotest.test_case "rule counts" `Quick test_parity_rule_counts;
+          Alcotest.test_case "depth bound" `Quick test_parity_max_depth;
+          Alcotest.test_case "spill mode" `Quick test_parity_spill;
+          QCheck_alcotest.to_alcotest test_parity_random_rule_orders;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "faulty msgpass violates prefix" `Quick
+            test_faulty_msgpass_violates;
+          Alcotest.test_case "fault rules fire" `Quick test_faulty_rules_fire;
+        ] );
     ]

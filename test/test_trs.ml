@@ -492,6 +492,61 @@ let test_explore_rule_counts_sorted () =
     [ ("inc", 3); ("reset", 3) ]
     (Explore.rule_counts counter_system ~init:(Term.Int 0))
 
+let test_explore_shared_pool () =
+  (* A caller-supplied pool is borrowed, not consumed: several
+     explorations can share it, and results match the sequential run. *)
+  Tr_sim.Pool.with_pool ~domains:2 (fun pool ->
+      let a = Explore.explore ~pool counter_system ~init:(Term.Int 0) in
+      let b = Explore.explore ~pool counter_system ~init:(Term.Int 1) in
+      let seq = Explore.explore counter_system ~init:(Term.Int 0) in
+      Alcotest.(check int) "domains recorded" 2 a.Explore.perf.Explore.domains_used;
+      Alcotest.(check (list term)) "same order" seq.Explore.visited_order
+        a.Explore.visited_order;
+      Alcotest.(check int) "second exploration" 4 b.Explore.stats.Explore.states)
+
+let test_explore_perf_fields () =
+  let o = Explore.explore counter_system ~init:(Term.Int 0) in
+  Alcotest.(check int) "one domain" 1 o.Explore.perf.Explore.domains_used;
+  Alcotest.(check bool) "wall time non-negative" true
+    (o.Explore.perf.Explore.wall_s >= 0.0);
+  Alcotest.(check bool) "throughput non-negative" true
+    (o.Explore.perf.Explore.states_per_s >= 0.0);
+  Alcotest.(check int) "nothing spilled" 0 o.Explore.perf.Explore.spilled_layers;
+  (* /proc is available on the platforms we test on. *)
+  Alcotest.(check bool) "rss sampled" true (o.Explore.perf.Explore.peak_rss_kb > 0)
+
+let test_explore_spill_smoke () =
+  let dir = Filename.get_temp_dir_name () in
+  let o =
+    Explore.explore ~spill_dir:dir ~spill_chunk:2 counter_system
+      ~init:(Term.Int 0)
+  in
+  Alcotest.(check int) "4 states" 4 o.Explore.stats.Explore.states;
+  Alcotest.(check (list term)) "no retained terms" [] o.Explore.visited_order;
+  Alcotest.(check bool) "layers spilled" true
+    (o.Explore.perf.Explore.spilled_layers > 0);
+  Alcotest.(check bool) "bytes accounted" true
+    (o.Explore.perf.Explore.spilled_bytes > 0)
+
+let test_explore_invalid_args () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "want_edges + spill rejected" true
+    (raises (fun () ->
+         Explore.explore ~want_edges:true
+           ~spill_dir:(Filename.get_temp_dir_name ())
+           counter_system ~init:(Term.Int 0)));
+  Alcotest.(check bool) "domains < 1 rejected" true
+    (raises (fun () ->
+         Explore.explore ~domains:0 counter_system ~init:(Term.Int 0)));
+  Alcotest.(check bool) "spill_chunk < 1 rejected" true
+    (raises (fun () ->
+         Explore.explore ~spill_chunk:0 counter_system ~init:(Term.Int 0)))
+
 (* ---------------- Parse ---------------- *)
 
 let test_parse_atoms () =
@@ -661,6 +716,10 @@ let () =
           Alcotest.test_case "eventually undecided on truncation" `Quick
             test_explore_eventually_undecided_on_truncation;
           Alcotest.test_case "deadlocks" `Quick test_explore_deadlocks;
+          Alcotest.test_case "shared pool" `Quick test_explore_shared_pool;
+          Alcotest.test_case "perf fields" `Quick test_explore_perf_fields;
+          Alcotest.test_case "spill smoke" `Quick test_explore_spill_smoke;
+          Alcotest.test_case "invalid args" `Quick test_explore_invalid_args;
           Alcotest.test_case "rule counts sorted" `Quick
             test_explore_rule_counts_sorted;
         ] );
