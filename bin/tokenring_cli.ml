@@ -733,6 +733,384 @@ let loadgen_cmd =
       $ grants_stop_arg $ duration_arg $ closed $ open_mean $ readiness_arg
       $ pin_arg)
 
+(* ---------------- service / service-loadgen ---------------- *)
+
+module Service = Tr_service.Server
+module Service_client = Tr_service.Client
+module Policy = Tr_service.Policy
+
+let parse_app = function
+  | "mutex" -> Service.Mutex
+  | "total-order" | "total_order" -> Service.Total_order
+  | s -> die "unknown app %S (expected mutex or total-order)" s
+
+let app_arg =
+  Arg.(
+    value & opt string "mutex"
+    & info [ "app" ] ~docv:"APP" ~doc:"Application: mutex or total-order.")
+
+let service_cmd =
+  let run app n seed unit_s shards max_wall listen_uds listen_tcp host duration
+      cs adaptive pinned hi lo window park report_every quiet json =
+    let app = parse_app app in
+    if n < 1 then die "need at least one node";
+    if cs <= 0. then die "--cs must be positive";
+    if duration <= 0. then die "--duration must be positive";
+    if report_every <= 0. then die "--report-every must be positive";
+    let listen =
+      match (listen_uds, listen_tcp) with
+      | Some _, Some _ -> die "choose one of --listen-uds and --listen-tcp"
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, Some port -> (
+          if port < 0 || port > 65535 then die "bad --listen-tcp port %d" port;
+          try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+          with Failure _ -> die "bad --host %S" host)
+      | None, None -> die "service needs --listen-uds PATH or --listen-tcp PORT"
+    in
+    let cluster =
+      {
+        (Cluster.default_config ~n ~seed) with
+        unit_s;
+        load = Cluster.External;
+        stop = Cluster.Duration duration;
+        max_wall_s = max_wall;
+      }
+    in
+    let cluster = if shards > 0 then { cluster with shards } else cluster in
+    let mode =
+      if adaptive then begin
+        let base = Policy.default_config ~n ~hop_s:cluster.Cluster.hop_delay in
+        let cfg =
+          {
+            base with
+            Policy.hi = Option.value hi ~default:base.Policy.hi;
+            lo = Option.value lo ~default:base.Policy.lo;
+            window_s = Option.value window ~default:base.Policy.window_s;
+            park_after = (match park with Some k -> Some k | None -> base.Policy.park_after);
+          }
+        in
+        if not (cfg.Policy.hi > cfg.Policy.lo) then
+          die "--hi (%g) must exceed --lo (%g)" cfg.Policy.hi cfg.Policy.lo;
+        if cfg.Policy.window_s <= 0. then die "--window must be positive";
+        Service.Adaptive (Policy.create cfg)
+      end
+      else begin
+        if hi <> None || lo <> None || window <> None then
+          die "--hi/--lo/--window only make sense with --adaptive";
+        let m =
+          match pinned with
+          | "search" -> Tr_apps.Movement.Search
+          | "rotate" -> Tr_apps.Movement.Rotate
+          | s -> die "unknown --mode %S (expected search or rotate)" s
+        in
+        Service.Pinned { Tr_apps.Movement.mode = m; park_after = park }
+      end
+    in
+    let config =
+      {
+        Service.cluster;
+        listen;
+        app;
+        cs_duration = cs;
+        mode;
+        report_every_s = report_every;
+        verbose = not quiet;
+      }
+    in
+    let outcome = Service.run config in
+    List.iter
+      (fun (s : Policy.switch_event) ->
+        Format.eprintf "[policy] t=%.1fu switch %s -> %s (per_rev=%.2f)@."
+          s.Policy.at
+          (Tr_apps.Movement.mode_to_string s.Policy.from_mode)
+          (Tr_apps.Movement.mode_to_string s.Policy.to_mode)
+          s.Policy.per_rev)
+      outcome.Service.switches;
+    if json then begin
+      print_endline (Service.stats_json ~outcome ~app ~adaptive);
+      print_string (Live_export.json_of_report outcome.Service.report)
+    end
+    else begin
+      let st = outcome.Service.stats in
+      Format.printf
+        "service %s: %d requests, %d grants, %d released, %d committed, %d \
+         rejected, %d decode errors, %d switches@."
+        (Service.app_name app) st.Service.requests st.Service.grants_sent
+        st.Service.released_sent st.Service.committed_sent
+        st.Service.rejected_sent st.Service.decode_errors
+        (List.length outcome.Service.switches)
+    end
+  in
+  let listen_uds =
+    Arg.(
+      value & opt (some string) None
+      & info [ "listen-uds" ] ~docv:"PATH"
+          ~doc:"Serve clients on a Unix-domain socket at $(docv).")
+  in
+  let listen_tcp =
+    Arg.(
+      value & opt (some int) None
+      & info [ "listen-tcp" ] ~docv:"PORT"
+          ~doc:"Serve clients on TCP $(docv) (0 picks a free port).")
+  in
+  let cs =
+    Arg.(
+      value & opt float 2.0
+      & info [ "cs" ] ~docv:"T"
+          ~doc:"Mutex lease (critical-section) length, time units.")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Switch ring/binsearch token movement online from the observed \
+             request rate per token revolution (the Figure 10 crossover as \
+             a runtime policy).")
+  in
+  let pinned =
+    Arg.(
+      value & opt string "search"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Pinned movement mode when not --adaptive: search or rotate.")
+  in
+  let hi =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hi" ] ~docv:"R"
+          ~doc:"Adaptive: switch to rotation at >= R requests/revolution.")
+  in
+  let lo =
+    Arg.(
+      value & opt (some float) None
+      & info [ "lo" ] ~docv:"R"
+          ~doc:"Adaptive: switch back to search at <= R requests/revolution.")
+  in
+  let window =
+    Arg.(
+      value & opt (some float) None
+      & info [ "window" ] ~docv:"T"
+          ~doc:"Adaptive rate-estimation window, time units.")
+  in
+  let park =
+    Arg.(
+      value & opt (some int) None
+      & info [ "park" ] ~docv:"K"
+          ~doc:"Park an idle token after K idle hops (search mode only).")
+  in
+  let report_every =
+    Arg.(
+      value & opt float 1.0
+      & info [ "report-every" ] ~docv:"S"
+          ~doc:"Seconds between periodic SLO/queue reports.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No periodic reports.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON reports at the end.")
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Run the mutex/total-order service: a live cluster behind a \
+          client-facing socket front-end, optionally with online adaptive \
+          ring/binsearch switching")
+    Term.(
+      const run $ app_arg $ nodes $ seed $ unit_arg $ shards_arg
+      $ max_wall_arg $ listen_uds $ listen_tcp $ host_arg $ duration_arg $ cs
+      $ adaptive $ pinned $ hi $ lo $ window $ park $ report_every $ quiet
+      $ json)
+
+let service_loadgen_cmd =
+  let run app connect_uds connect_tcp host clients conns closed think rate ramp
+      duration seed report_every drain quiet json =
+    let app = parse_app app in
+    let connect =
+      match (connect_uds, connect_tcp) with
+      | Some _, Some _ -> die "choose one of --connect-uds and --connect-tcp"
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, Some port -> (
+          if port <= 0 || port > 65535 then die "bad --connect-tcp port %d" port;
+          try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+          with Failure _ -> die "bad --host %S" host)
+      | None, None ->
+          die "service-loadgen needs --connect-uds PATH or --connect-tcp PORT"
+    in
+    if clients <= 0 then die "--clients must be >= 1";
+    if conns <= 0 then die "--conns must be >= 1";
+    if conns > clients then
+      die "--conns (%d) cannot exceed --clients (%d)" conns clients;
+    if duration <= 0. then die "--duration must be positive";
+    if think < 0. then die "--think cannot be negative";
+    (* A closed loop has no rate knob — completions set the pace. *)
+    if closed && rate <> None then
+      die "--closed is a closed loop; it cannot take --rate";
+    if ramp <> None && (closed || rate <> None || think <> 0.) then
+      die "--ramp replaces --closed/--rate/--think";
+    let parse_ramp spec =
+      spec
+      |> String.split_on_char ','
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun part ->
+             match String.index_opt part ':' with
+             | None ->
+                 die "bad ramp phase %S (expected RATE:SECONDS)" part
+             | Some i -> (
+                 let rate_s = String.sub part 0 i
+                 and dur_s =
+                   String.sub part (i + 1) (String.length part - i - 1)
+                 in
+                 match
+                   (float_of_string_opt rate_s, float_of_string_opt dur_s)
+                 with
+                 | Some r, Some d when r > 0. && d > 0. ->
+                     {
+                       Service_client.duration_s = d;
+                       workload = Service_client.Open { rate = r };
+                     }
+                 | _ ->
+                     die
+                       "bad ramp phase %S (need positive RATE:SECONDS)" part))
+    in
+    let phases =
+      match ramp with
+      | Some spec -> (
+          match parse_ramp spec with
+          | [] -> die "empty --ramp"
+          | ps -> ps)
+      | None -> (
+          match rate with
+          | Some r ->
+              if r <= 0. then die "--rate must be positive";
+              [
+                {
+                  Service_client.duration_s = duration;
+                  workload = Service_client.Open { rate = r };
+                };
+              ]
+          | None ->
+              [
+                {
+                  Service_client.duration_s = duration;
+                  workload = Service_client.Closed { think_s = think };
+                };
+              ])
+    in
+    let config =
+      {
+        Service_client.connect;
+        clients;
+        conns;
+        app;
+        phases;
+        seed;
+        report_every_s = report_every;
+        drain_s = drain;
+        verbose = not quiet;
+      }
+    in
+    let result =
+      try Service_client.run config with
+      | Invalid_argument msg -> die "%s" msg
+      | Unix.Unix_error (e, fn, _) ->
+          die "cannot connect: %s (%s)" (Unix.error_message e) fn
+    in
+    if json then print_endline (Service_client.result_json result)
+    else begin
+      let s = result.Service_client.slo in
+      let ms v = Format.asprintf "%a" Tr_service.Slo.pp_ms v in
+      Format.printf
+        "loadgen: sent %d, %d grants, %d released, %d committed, %d rejects, \
+         %d outstanding, %d decode errors; grant latency p50=%s p99=%s \
+         p999=%s@."
+        result.Service_client.sent result.Service_client.grants
+        result.Service_client.releaseds result.Service_client.committeds
+        result.Service_client.rejects result.Service_client.outstanding
+        result.Service_client.decode_errors
+        (ms s.Tr_service.Slo.p50) (ms s.Tr_service.Slo.p99)
+        (ms s.Tr_service.Slo.p999)
+    end
+  in
+  let connect_uds =
+    Arg.(
+      value & opt (some string) None
+      & info [ "connect-uds" ] ~docv:"PATH"
+          ~doc:"Connect to a service on a Unix-domain socket at $(docv).")
+  in
+  let connect_tcp =
+    Arg.(
+      value & opt (some int) None
+      & info [ "connect-tcp" ] ~docv:"PORT" ~doc:"Connect to TCP $(docv).")
+  in
+  let clients =
+    Arg.(
+      value & opt int 100
+      & info [ "clients" ] ~docv:"K" ~doc:"Logical clients to simulate.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 8
+      & info [ "conns" ] ~docv:"C"
+          ~doc:"Sockets the clients multiplex over (C <= K).")
+  in
+  let closed =
+    Arg.(
+      value & flag
+      & info [ "closed" ]
+          ~doc:"Closed loop: one request in flight per client (default).")
+  in
+  let think =
+    Arg.(
+      value & opt float 0.0
+      & info [ "think" ] ~docv:"S"
+          ~doc:"Closed-loop think time between cycles, seconds.")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open loop: aggregate Poisson arrivals at R requests/s.")
+  in
+  let ramp =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ramp" ] ~docv:"SPEC"
+          ~doc:
+            "Open-loop rate ramp, e.g. 50:5,2000:10,50:5 \
+             (RATE:SECONDS phases).")
+  in
+  let lg_duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Single-phase run length in seconds (--ramp overrides).")
+  in
+  let report_every =
+    Arg.(
+      value & opt float 1.0
+      & info [ "report-every" ] ~docv:"S"
+          ~doc:"Seconds between periodic SLO reports.")
+  in
+  let drain =
+    Arg.(
+      value & opt float 3.0
+      & info [ "drain" ] ~docv:"S"
+          ~doc:"Grace period for in-flight responses after the last phase.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No periodic reports.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON result line.")
+  in
+  Cmd.v
+    (Cmd.info "service-loadgen"
+       ~doc:
+         "Drive a running service with thousands of concurrent logical \
+          clients (closed loop, fixed-rate open loop, or an open-loop rate \
+          ramp) and report grant-latency SLOs")
+    Term.(
+      const run $ app_arg $ connect_uds $ connect_tcp $ host_arg $ clients
+      $ conns $ closed $ think $ rate $ ramp $ lg_duration $ seed
+      $ report_every $ drain $ quiet $ json)
+
 (* ---------------- cluster-bench ---------------- *)
 
 (* The fork/aggregate machinery lives in Cluster.run_fleet; the CLI only
@@ -964,4 +1342,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd;
-            explore_cmd; trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd ]))
+            explore_cmd; trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd;
+            service_cmd; service_loadgen_cmd ]))

@@ -1,0 +1,12 @@
+type mode = Rotate | Search
+
+type directive = { mode : mode; park_after : int option }
+
+let default = { mode = Search; park_after = None }
+
+let mode_to_string = function Rotate -> "rotate" | Search -> "search"
+
+let mode_of_string = function
+  | "rotate" -> Some Rotate
+  | "search" -> Some Search
+  | _ -> None

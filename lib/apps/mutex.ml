@@ -2,27 +2,35 @@ open Tr_sim
 module Traps = Tr_proto.Proto_util.Traps
 
 type msg =
-  | Token of { stamp : int }
+  | Token of { stamp : int; mode : Movement.mode; idle_hops : int }
   | Loan of { stamp : int }
   | Return of { stamp : int }
   | Gimme of { requester : int; span : int; stamp : int }
 
 (* While inside a critical section the node physically keeps the token
    ([In_cs]); [return_to] remembers the lender when we entered from a
-   loan. *)
+   loan. [Parked] also keeps the token physically here: an idle token
+   that exceeded its park threshold waits for the next local request or
+   incoming search instead of circulating. *)
 type holding =
   | Not_holding
   | Lent
   | In_cs of { stamp : int; return_to : int option }
+  | Parked of { stamp : int }
 
 type state = {
   last_stamp : int;
+  last_mode : Movement.mode;
+      (** Movement mode of the last token this node saw — requesters
+          suppress searches while the token is rotating. *)
   holding : holding;
   traps : Traps.t;
 }
 
 let in_critical_section state =
-  match state.holding with In_cs _ -> true | Not_holding | Lent -> false
+  match state.holding with
+  | In_cs _ -> true
+  | Not_holding | Lent | Parked _ -> false
 
 let timer_exit = 1
 
@@ -31,13 +39,26 @@ let classify = function
   | Gimme _ -> Metrics.Control_msg
 
 let label = function
-  | Token { stamp } -> Printf.sprintf "token#%d" stamp
+  | Token { stamp; mode = Movement.Search; _ } -> Printf.sprintf "token#%d" stamp
+  | Token { stamp; mode = Movement.Rotate; _ } ->
+      Printf.sprintf "token#%d[rotate]" stamp
   | Loan { stamp } -> Printf.sprintf "loan#%d" stamp
   | Return { stamp } -> Printf.sprintf "return#%d" stamp
   | Gimme { requester; span; stamp } ->
       Printf.sprintf "gimme(req=%d span=%d stamp=%d)" requester span stamp
 
-let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
+type event = [ `Enter | `Exit ]
+
+let make ?(cs_duration = 2.0) ?directive ?on_event () :
+    (module Node_intf.PROTOCOL with type state = state and type msg = msg) =
+  let directive =
+    match directive with Some f -> f | None -> fun () -> Movement.default
+  in
+  let emit (ctx : msg Node_intf.ctx) ev =
+    match on_event with
+    | None -> ()
+    | Some f -> f ~self:ctx.self ~now:(ctx.now ()) (ev : event)
+  in
   (module struct
     type nonrec state = state
     type nonrec msg = msg
@@ -46,32 +67,49 @@ let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
 
     let describe =
       Printf.sprintf
-        "mutual-exclusion service on the BinarySearch token: critical \
-         sections hold the token for %g time units; FIFO trap service"
+        "mutual-exclusion service on the hybrid rotate/search token: \
+         critical sections hold the token for %g time units; FIFO trap \
+         service"
         cs_duration
 
     let classify = classify
     let label = label
 
-    let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp =
+    (* [idle_hops] is how many consecutive idle visits the token has made
+       including this one; a busy visit (critical section, loan round
+       trip) resets it to zero. *)
+    let rec dispatch (ctx : msg Node_intf.ctx) state ~stamp ~idle_hops =
       match Traps.pop state.traps with
       | Some (requester, traps) ->
-          if requester = ctx.self then dispatch ctx { state with traps } ~stamp
+          if requester = ctx.self then dispatch ctx { state with traps } ~stamp ~idle_hops
           else begin
             ctx.send ~dst:requester (Loan { stamp });
             { state with holding = Lent; traps }
           end
       | None ->
-          ctx.send
-            ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self)
-            (Token { stamp = stamp + 1 });
-          { state with holding = Not_holding }
+          let d = directive () in
+          let park =
+            match d.Movement.park_after with
+            | Some k -> d.Movement.mode = Movement.Search && idle_hops >= k
+            | None -> false
+          in
+          if park then begin
+            ctx.note (fun () -> "park");
+            { state with holding = Parked { stamp } }
+          end
+          else begin
+            ctx.send
+              ~dst:(Node_intf.succ_node ~n:ctx.n ctx.self)
+              (Token { stamp = stamp + 1; mode = d.Movement.mode; idle_hops });
+            { state with holding = Not_holding }
+          end
 
     (* Enter the critical section if work is pending; otherwise pass the
        token along immediately. *)
-    let acquire (ctx : msg Node_intf.ctx) state ~stamp ~return_to =
+    let acquire (ctx : msg Node_intf.ctx) state ~stamp ~return_to ~idle_hops =
       if ctx.pending () > 0 then begin
         ctx.note (fun () -> "cs-enter");
+        emit ctx `Enter;
         ctx.set_timer ~delay:cs_duration ~key:timer_exit;
         { state with holding = In_cs { stamp; return_to } }
       end
@@ -80,39 +118,68 @@ let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
         | Some lender ->
             ctx.send ~dst:lender (Return { stamp });
             { state with holding = Not_holding }
-        | None -> dispatch ctx state ~stamp
+        | None -> dispatch ctx state ~stamp ~idle_hops
 
     let init (ctx : msg Node_intf.ctx) =
       if ctx.self = 0 then begin
         ctx.possession ();
-        ctx.send ~dst:(Node_intf.succ_node ~n:ctx.n 0) (Token { stamp = 1 })
+        let d = directive () in
+        ctx.send
+          ~dst:(Node_intf.succ_node ~n:ctx.n 0)
+          (Token { stamp = 1; mode = d.Movement.mode; idle_hops = 0 })
       end;
-      { last_stamp = 0; holding = Not_holding; traps = Traps.empty }
+      {
+        last_stamp = 0;
+        last_mode = Movement.Search;
+        holding = Not_holding;
+        traps = Traps.empty;
+      }
 
     let on_request (ctx : msg Node_intf.ctx) state =
       match state.holding with
       | In_cs _ -> state (* will be picked up when the section exits *)
+      | Parked { stamp } ->
+          (* We already hold the token: wake it for the new request. *)
+          ctx.note (fun () -> "unpark");
+          acquire ctx
+            { state with holding = Not_holding }
+            ~stamp ~return_to:None ~idle_hops:0
       | Lent | Not_holding ->
-          let span = ctx.n / 2 in
-          if span < 1 then state
-          else begin
-            let dst = Node_intf.forward_node ~n:ctx.n ctx.self span in
-            ctx.send ~channel:Network.Cheap ~dst
-              (Gimme { requester = ctx.self; span; stamp = state.last_stamp });
-            state
-          end
+          if
+            state.last_mode = Movement.Rotate
+            && (directive ()).Movement.mode = Movement.Rotate
+            (* Rotation finds every requester; searching would only burn
+               messages (and trap a loan out of the rotation order). Both
+               conditions must agree: after an online Rotate→Search
+               switch the token parks, so a requester that last saw a
+               rotating token would strand itself by staying silent — a
+               spurious Gimme is cheap, a stranded request is not. *)
+          then state
+          else
+            let span = ctx.n / 2 in
+            if span < 1 then state
+            else begin
+              let dst = Node_intf.forward_node ~n:ctx.n ctx.self span in
+              ctx.send ~channel:Network.Cheap ~dst
+                (Gimme { requester = ctx.self; span; stamp = state.last_stamp });
+              state
+            end
 
     let on_message (ctx : msg Node_intf.ctx) state ~src msg =
       match msg with
-      | Token { stamp } ->
+      | Token { stamp; mode; idle_hops } ->
           ctx.possession ();
-          acquire ctx { state with last_stamp = stamp } ~stamp ~return_to:None
+          acquire ctx
+            { state with last_stamp = stamp; last_mode = mode }
+            ~stamp ~return_to:None ~idle_hops:(idle_hops + 1)
       | Loan { stamp } ->
           ctx.possession ();
-          acquire ctx state ~stamp ~return_to:(Some src)
+          acquire ctx state ~stamp ~return_to:(Some src) ~idle_hops:0
       | Return { stamp } ->
           ctx.possession ();
-          acquire ctx { state with holding = Not_holding } ~stamp ~return_to:None
+          acquire ctx
+            { state with holding = Not_holding }
+            ~stamp ~return_to:None ~idle_hops:0
       | Gimme { requester; span; stamp } ->
           if requester = ctx.self then state
           else begin
@@ -120,6 +187,12 @@ let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
             let state = { state with traps = Traps.push state.traps requester } in
             match state.holding with
             | In_cs _ | Lent -> state (* token is here or on loan; wait *)
+            | Parked { stamp = held_stamp } ->
+                (* Recall the parked token: serve the searcher directly. *)
+                ctx.note (fun () -> "unpark");
+                dispatch ctx
+                  { state with holding = Not_holding }
+                  ~stamp:held_stamp ~idle_hops:0
             | Not_holding ->
                 if span >= 2 then begin
                   let jump = span / 2 in
@@ -139,20 +212,23 @@ let make ?(cs_duration = 2.0) () : (module Node_intf.PROTOCOL) =
             (* Exit: account one served request per section. *)
             if ctx.pending () > 0 then ctx.serve ();
             ctx.note (fun () -> "cs-exit");
+            emit ctx `Exit;
             if ctx.pending () > 0 then
               (* More local work: re-enter immediately (we still hold). *)
-              acquire ctx state ~stamp ~return_to
+              acquire ctx state ~stamp ~return_to ~idle_hops:0
             else begin
               match return_to with
               | Some lender ->
                   ctx.send ~dst:lender (Return { stamp });
                   { state with holding = Not_holding }
-              | None -> dispatch ctx { state with holding = Not_holding } ~stamp
+              | None ->
+                  dispatch ctx { state with holding = Not_holding } ~stamp
+                    ~idle_hops:0
             end
-        | Not_holding | Lent -> state
+        | Not_holding | Lent | Parked _ -> state
   end)
 
-let protocol = make ()
+let protocol : (module Node_intf.PROTOCOL) = (module (val make ()))
 
 let cs_intervals trace =
   let open Trace in

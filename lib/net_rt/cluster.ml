@@ -5,6 +5,7 @@ type load =
   | No_load
   | Open_loop of { mean_interarrival : float }
   | Closed_loop of { depth : int }
+  | External
 
 type stop = Grants of int | Duration of float
 
@@ -43,6 +44,8 @@ type control = {
   kill : int -> unit;
   request_stop : unit -> unit;
   live_now : unit -> float;
+  inject : int -> unit;
+  transport_stats : Transport.stats;
 }
 
 type report = {
@@ -63,6 +66,7 @@ type report = {
   resync_skips : int;
   reconnects : int;
   frames_dropped : int;
+  out_hwm_bytes : int;
   write_syscalls : int;
   read_syscalls : int;
   wait_calls : int;
@@ -99,7 +103,7 @@ let validate (config : config) =
     invalid_arg "Cluster.run: cheap_delay must be finite and non-negative";
   if config.max_wall_s <= 0.0 then invalid_arg "Cluster.run: max_wall_s <= 0";
   (match config.load with
-  | No_load -> ()
+  | No_load | External -> ()
   | Open_loop { mean_interarrival } ->
       if not (Float.is_finite mean_interarrival) || mean_interarrival <= 0.0
       then invalid_arg "Cluster.run: open-loop mean interarrival <= 0"
@@ -111,7 +115,7 @@ let validate (config : config) =
       if not (Float.is_finite d) || d <= 0.0 then
         invalid_arg "Cluster.run: duration <= 0"
 
-let run (type m) ?tap ?(backend = Loopback) config
+let run (type m) ?tap ?attach ?(backend = Loopback) config
     (module P : Node_intf.PROTOCOL with type msg = m) (codec : m Codec.t) :
     report =
   validate config;
@@ -190,6 +194,16 @@ let run (type m) ?tap ?(backend = Loopback) config
           if i >= 0 && i < n then Atomic.set alive.(i) false);
       request_stop = signal_stop;
       live_now = (fun () -> Clock.now clock);
+      inject =
+        (fun i ->
+          (* External request arrival (service front-end): queue it for
+             the owning shard and poke that shard's wake pipe. Safe from
+             any domain — the mailbox is lock-free. *)
+          if i >= 0 && i < n && Atomic.get alive.(i) then begin
+            Mailbox.push req_inbox.(i) (Clock.now clock);
+            wake_node i
+          end);
+      transport_stats = Transport.stats transport;
     }
   in
   let make_ctx node : m Node_intf.ctx =
@@ -506,6 +520,9 @@ let run (type m) ?tap ?(backend = Loopback) config
       ignore (Atomic.compare_and_set failure_box None (Some e));
       signal_stop ()
   in
+  (* Hand the control handle to an embedding service (e.g. a client
+     front-end injecting External load) before the shards start. *)
+  (match attach with Some f -> f control | None -> ());
   let domains =
     List.mapi
       (fun s nodes ->
@@ -537,6 +554,7 @@ let run (type m) ?tap ?(backend = Loopback) config
     resync_skips = Atomic.get s.resync_skips;
     reconnects = Atomic.get s.reconnects;
     frames_dropped = Atomic.get s.frames_dropped;
+    out_hwm_bytes = Atomic.get s.out_hwm_bytes;
     write_syscalls = Atomic.get s.write_syscalls;
     read_syscalls = Atomic.get s.read_syscalls;
     wait_calls;

@@ -22,6 +22,9 @@ type load =
   | Closed_loop of { depth : int }
       (** Keep each node's outstanding-request count topped up to
           [depth]; a serve immediately re-arms. *)
+  | External
+      (** No internal generator: requests arrive only through
+          {!control.inject} — the service front-end's mode. *)
 
 type stop =
   | Grants of int  (** Stop once this many requests have been served. *)
@@ -52,14 +55,23 @@ val default_config : n:int -> seed:int -> config
     [Duration 1000.], 60 s wall cap, shards from
     [Domain.recommended_domain_count], no pinning, default readiness. *)
 
-(** Handle passed to the {!run} [tap]: lets a test kill a node mid-run or
-    end the run early. *)
+(** Handle passed to the {!run} [tap] and [attach] callbacks: lets an
+    embedder kill a node mid-run, end the run early, or inject external
+    request load. *)
 type control = {
   kill : int -> unit;
       (** Stop delivering frames, timers and load to this node — it
           vanishes without ceremony, like a crash. *)
   request_stop : unit -> unit;
   live_now : unit -> float;
+  inject : int -> unit;
+      (** Queue one request arrival at this node, timestamped now.
+          Callable from any domain; no-op for out-of-range or killed
+          nodes. The backbone of the [External] load mode. *)
+  transport_stats : Transport.stats;
+      (** The run's live transport counters (atomics) — lets an embedder
+          surface [frames_dropped] / [out_hwm_bytes] in a periodic
+          report while the run is still going. *)
 }
 
 type report = {
@@ -84,6 +96,10 @@ type report = {
           stream, or unknown-version frames skipped whole. *)
   reconnects : int;
   frames_dropped : int;
+  out_hwm_bytes : int;
+      (** Largest backlog any single peer's outgoing buffer reached
+          (bytes, sockets only) — headroom against the 4 MiB drop
+          threshold. *)
   write_syscalls : int;  (** [write(2)] calls issued (sockets backends). *)
   read_syscalls : int;  (** [read(2)] calls issued (sockets backends). *)
   wait_calls : int;  (** Readiness waits issued across all shards. *)
@@ -102,6 +118,7 @@ type backend_spec =
 
 val run :
   ?tap:(control -> self:int -> 'm -> unit) ->
+  ?attach:(control -> unit) ->
   ?backend:backend_spec ->
   config ->
   (module Tr_sim.Node_intf.PROTOCOL with type msg = 'm) ->
@@ -112,7 +129,10 @@ val run :
     processed delivery on the receiving shard's domain (after the
     protocol's [on_message]) — it must do its own locking if it
     accumulates state. A tap that kills the receiving node models a
-    crash just after handling the message. *)
+    crash just after handling the message. [attach] receives the
+    {!control} handle after node init but before any shard domain runs —
+    an embedding service stores it to [inject] load and stop the run
+    (typically from another domain, since [run] blocks). *)
 
 val run_packed : ?backend:backend_spec -> config -> Tr_wire.Codecs.packed -> report
 (** {!run} over a registry entry (protocol paired with its codec). *)

@@ -79,6 +79,7 @@ let json_of_report (r : Cluster.report) =
       ("resync_skips", string_of_int r.resync_skips);
       ("reconnects", string_of_int r.reconnects);
       ("frames_dropped", string_of_int r.frames_dropped);
+      ("out_hwm_bytes", string_of_int r.out_hwm_bytes);
       ("write_syscalls", string_of_int r.write_syscalls);
       ("read_syscalls", string_of_int r.read_syscalls);
       ("wait_calls", string_of_int r.wait_calls);

@@ -8,6 +8,7 @@ type stats = {
   resync_skips : int Atomic.t;
   reconnects : int Atomic.t;
   frames_dropped : int Atomic.t;
+  out_hwm_bytes : int Atomic.t;
   write_syscalls : int Atomic.t;
   read_syscalls : int Atomic.t;
   wait_calls : int Atomic.t;
@@ -24,6 +25,7 @@ let make_stats () =
     resync_skips = Atomic.make 0;
     reconnects = Atomic.make 0;
     frames_dropped = Atomic.make 0;
+    out_hwm_bytes = Atomic.make 0;
     write_syscalls = Atomic.make 0;
     read_syscalls = Atomic.make 0;
     wait_calls = Atomic.make 0;
@@ -613,6 +615,14 @@ module Sockets = struct
         Atomic.incr stats.frames_sent;
         ignore (Atomic.fetch_and_add stats.bytes_sent len);
         append co ~len blit;
+        (* Monotone max of any single peer's backlog — how close the run
+           came to the high-water drop threshold. *)
+        let rec bump v =
+          let cur = Atomic.get stats.out_hwm_bytes in
+          if v > cur && not (Atomic.compare_and_set stats.out_hwm_bytes cur v)
+          then bump v
+        in
+        bump (queued co);
         if not co.in_busy then begin
           co.in_busy <- true;
           node.busy <- co :: node.busy

@@ -55,6 +55,10 @@ type stats = {
       (** Sends refused because the per-peer outgoing buffer was over its
           high-water mark, plus half-written frames discarded at
           tear-down (sockets only). *)
+  out_hwm_bytes : int Atomic.t;
+      (** High-water mark: the largest backlog any single peer's outgoing
+          buffer reached (sockets only) — how close the run came to the
+          4 MiB drop threshold, visible while it happens. *)
   write_syscalls : int Atomic.t;
       (** [write(2)] calls issued (sockets only) — with batching this
           stays well below [frames_sent]. *)

@@ -1,0 +1,169 @@
+open Tr_wire
+open Tr_apps
+
+(* These live here rather than in [Tr_wire.Codecs] because the wire
+   library must not depend on [tr_apps] (the apps already depend on the
+   sim types the codecs share). Keys 20/21 sit between the protocol
+   registry's 1..13 block and the service client keys 31/32. *)
+
+let bad_tag codec tag =
+  Error (Buf.Malformed (Printf.sprintf "%s: unknown message tag %#x" codec tag))
+
+let enc_mode b (m : Movement.mode) =
+  Buf.Enc.byte b (match m with Movement.Search -> 0 | Movement.Rotate -> 1)
+
+let dec_mode d =
+  match Buf.Dec.byte d with
+  | Ok 0 -> Ok Movement.Search
+  | Ok 1 -> Ok Movement.Rotate
+  | Ok t -> bad_tag "movement-mode" t
+  | Error _ as e -> e
+
+open Buf.Dec
+
+let mutex : Mutex.msg Codec.t =
+  {
+    Codec.name = "mutex";
+    key = 20;
+    version = 1;
+    encode_msg =
+      (fun b msg ->
+        match msg with
+        | Mutex.Token { stamp; mode; idle_hops } ->
+            Buf.Enc.byte b 0;
+            Buf.Enc.int b stamp;
+            enc_mode b mode;
+            Buf.Enc.uvarint b idle_hops
+        | Mutex.Loan { stamp } ->
+            Buf.Enc.byte b 1;
+            Buf.Enc.int b stamp
+        | Mutex.Return { stamp } ->
+            Buf.Enc.byte b 2;
+            Buf.Enc.int b stamp
+        | Mutex.Gimme { requester; span; stamp } ->
+            Buf.Enc.byte b 3;
+            Buf.Enc.int b requester;
+            Buf.Enc.int b span;
+            Buf.Enc.int b stamp);
+    decode_msg =
+      (fun d ->
+        match byte d with
+        | Ok 0 -> (
+            match int d with
+            | Ok stamp -> (
+                match dec_mode d with
+                | Ok mode -> (
+                    match uvarint d with
+                    | Ok idle_hops -> Ok (Mutex.Token { stamp; mode; idle_hops })
+                    | Error _ as e -> e)
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok 1 -> (
+            match int d with
+            | Ok stamp -> Ok (Mutex.Loan { stamp })
+            | Error _ as e -> e)
+        | Ok 2 -> (
+            match int d with
+            | Ok stamp -> Ok (Mutex.Return { stamp })
+            | Error _ as e -> e)
+        | Ok 3 -> (
+            match int d with
+            | Ok requester -> (
+                match int d with
+                | Ok span -> (
+                    match int d with
+                    | Ok stamp -> Ok (Mutex.Gimme { requester; span; stamp })
+                    | Error _ as e -> e)
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok t -> bad_tag "mutex" t
+        | Error _ as e -> e);
+  }
+
+let total_order : Total_order.msg Codec.t =
+  {
+    Codec.name = "total-order";
+    key = 21;
+    version = 1;
+    encode_msg =
+      (fun b msg ->
+        match msg with
+        | Total_order.Token { stamp; next_seq; mode; idle_hops } ->
+            Buf.Enc.byte b 0;
+            Buf.Enc.int b stamp;
+            Buf.Enc.int b next_seq;
+            enc_mode b mode;
+            Buf.Enc.uvarint b idle_hops
+        | Total_order.Loan { stamp; next_seq } ->
+            Buf.Enc.byte b 1;
+            Buf.Enc.int b stamp;
+            Buf.Enc.int b next_seq
+        | Total_order.Return { stamp; next_seq } ->
+            Buf.Enc.byte b 2;
+            Buf.Enc.int b stamp;
+            Buf.Enc.int b next_seq
+        | Total_order.Gimme { requester; span; stamp } ->
+            Buf.Enc.byte b 3;
+            Buf.Enc.int b requester;
+            Buf.Enc.int b span;
+            Buf.Enc.int b stamp
+        | Total_order.Bcast { seq; payload = { origin; origin_seq } } ->
+            Buf.Enc.byte b 4;
+            Buf.Enc.int b seq;
+            Buf.Enc.int b origin;
+            Buf.Enc.int b origin_seq);
+    decode_msg =
+      (fun d ->
+        match byte d with
+        | Ok 0 -> (
+            match int d with
+            | Ok stamp -> (
+                match int d with
+                | Ok next_seq -> (
+                    match dec_mode d with
+                    | Ok mode -> (
+                        match uvarint d with
+                        | Ok idle_hops ->
+                            Ok (Total_order.Token { stamp; next_seq; mode; idle_hops })
+                        | Error _ as e -> e)
+                    | Error _ as e -> e)
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok 1 -> (
+            match int d with
+            | Ok stamp -> (
+                match int d with
+                | Ok next_seq -> Ok (Total_order.Loan { stamp; next_seq })
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok 2 -> (
+            match int d with
+            | Ok stamp -> (
+                match int d with
+                | Ok next_seq -> Ok (Total_order.Return { stamp; next_seq })
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok 3 -> (
+            match int d with
+            | Ok requester -> (
+                match int d with
+                | Ok span -> (
+                    match int d with
+                    | Ok stamp -> Ok (Total_order.Gimme { requester; span; stamp })
+                    | Error _ as e -> e)
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok 4 -> (
+            match int d with
+            | Ok seq -> (
+                match int d with
+                | Ok origin -> (
+                    match int d with
+                    | Ok origin_seq ->
+                        Ok (Total_order.Bcast { seq; payload = { origin; origin_seq } })
+                    | Error _ as e -> e)
+                | Error _ as e -> e)
+            | Error _ as e -> e)
+        | Ok t -> bad_tag "total-order" t
+        | Error _ as e -> e);
+  }

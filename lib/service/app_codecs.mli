@@ -1,0 +1,16 @@
+(** Wire codecs for the application message types.
+
+    The mutex and total-order apps run on the live cluster exactly like
+    the [lib/proto/] protocols do — through a {!Tr_wire.Codec} paired
+    with the protocol module. Their codecs live here (not in
+    {!Tr_wire.Codecs}) so [tr_wire] keeps no dependency on [tr_apps].
+
+    Movement modes travel as one byte; [idle_hops] as a uvarint. Same
+    fuzz discipline as the registry codecs: decoders never raise, and
+    the test suite round-trips and garbage-fuzzes both. *)
+
+val mutex : Tr_apps.Mutex.msg Tr_wire.Codec.t
+(** Wire key 20, version 1. *)
+
+val total_order : Tr_apps.Total_order.msg Tr_wire.Codec.t
+(** Wire key 21, version 1. *)

@@ -1,0 +1,68 @@
+(** Load generator: thousands of logical clients over a few sockets.
+
+    Clients are multiplexed client-id → connection (round-robin), which
+    is what the wire protocol's [(client, seq)] correlation exists for —
+    driving 10k clients does not cost 10k fds. One domain runs all I/O
+    in a {!Tr_net_rt.Readiness} set.
+
+    Two driving disciplines, switchable per phase (the FIG10-LIVE ramp
+    is three open-loop phases at different rates):
+
+    - {b Closed}: each client keeps exactly one request in flight —
+      mutex clients cycle Acquire → Grant → Released (sending an
+      advisory Release on Grant), total-order clients cycle
+      Publish → Committed — then think and repeat. Throughput adapts to
+      what the service sustains.
+    - {b Open}: aggregate Poisson arrivals at [rate] requests/s spread
+      round-robin across clients, regardless of completions — the
+      discipline that actually overloads a service.
+
+    Latency recorded into {!Slo} is request→Grant for the mutex app and
+    request→Committed for total order. *)
+
+type workload = Closed of { think_s : float } | Open of { rate : float }
+type phase = { duration_s : float; workload : workload }
+
+type config = {
+  connect : Unix.sockaddr;
+  clients : int;
+  conns : int;
+  app : Server.app;
+  phases : phase list;
+  seed : int;
+  report_every_s : float;
+  drain_s : float;
+      (** After the last phase, wait this long for in-flight responses. *)
+  verbose : bool;
+}
+
+val default_config : connect:Unix.sockaddr -> clients:int -> config
+(** Mutex app, one 5 s zero-think closed-loop phase, [min clients 8]
+    connections. *)
+
+val validate : config -> unit
+(** @raise Invalid_argument on nonsensical combinations: no clients,
+    more connections than clients, empty phase list, non-positive phase
+    duration or open-loop rate, negative think time. *)
+
+type result = {
+  sent : int;
+  welcomes : int;
+  grants : int;
+  releaseds : int;
+  committeds : int;
+  rejects : int;
+  decode_errors : int;
+  resync_skips : int;
+  conn_failures : int;
+  outstanding : int;  (** Requests still unanswered when the run ended. *)
+  slo : Slo.snapshot;
+}
+
+val run : config -> result
+(** Connect, drive every phase, drain, disconnect. Blocks.
+    @raise Invalid_argument as {!validate}.
+    @raise Unix.Unix_error if the initial connects fail. *)
+
+val result_json : result -> string
+(** One-line JSON for bench artifacts. *)

@@ -1,0 +1,110 @@
+(* Not [open Tr_apps]: that would shadow stdlib [Mutex] with the app. *)
+module Movement = Tr_apps.Movement
+
+type config = {
+  n : int;
+  hop_s : float;
+  window_s : float;
+  hi : float;
+  lo : float;
+  park_after : int option;
+  initial : Movement.mode;
+}
+
+let default_config ~n ~hop_s =
+  {
+    n;
+    hop_s;
+    window_s = 10. *. float_of_int n *. hop_s;
+    hi = 2.0;
+    lo = 0.75;
+    park_after = Some (2 * n);
+    initial = Movement.Search;
+  }
+
+type switch_event = {
+  at : float;
+  from_mode : Movement.mode;
+  to_mode : Movement.mode;
+  per_rev : float;
+}
+
+type t = {
+  cfg : config;
+  mode : int Atomic.t; (* 0 = Search, 1 = Rotate; the only lock-free field *)
+  mu : Mutex.t;
+  mutable window_start : float;
+  mutable window_count : int;
+  mutable last_per_rev : float;
+  mutable events : switch_event list; (* newest first *)
+}
+
+let mode_of_int = function 0 -> Movement.Search | _ -> Movement.Rotate
+let int_of_mode = function Movement.Search -> 0 | Movement.Rotate -> 1
+
+let create cfg =
+  if not (cfg.hi > cfg.lo) then
+    invalid_arg "Policy.create: need hi > lo for hysteresis";
+  {
+    cfg;
+    mode = Atomic.make (int_of_mode cfg.initial);
+    mu = Mutex.create ();
+    window_start = 0.;
+    window_count = 0;
+    last_per_rev = 0.;
+    events = [];
+  }
+
+let mode t = mode_of_int (Atomic.get t.mode)
+
+let directive t () =
+  match mode_of_int (Atomic.get t.mode) with
+  | Movement.Rotate -> { Movement.mode = Rotate; park_after = None }
+  | Movement.Search -> { Movement.mode = Search; park_after = t.cfg.park_after }
+
+(* Called with t.mu held. *)
+let roll_window t ~now =
+  let elapsed = now -. t.window_start in
+  if elapsed >= t.cfg.window_s then begin
+    let rate = float_of_int t.window_count /. elapsed in
+    (* Requests per token revolution: one revolution takes n × hop. *)
+    let per_rev = rate *. float_of_int t.cfg.n *. t.cfg.hop_s in
+    t.last_per_rev <- per_rev;
+    t.window_start <- now;
+    t.window_count <- 0;
+    let cur = mode_of_int (Atomic.get t.mode) in
+    let next =
+      match cur with
+      | Movement.Search when per_rev >= t.cfg.hi -> Movement.Rotate
+      | Movement.Rotate when per_rev <= t.cfg.lo -> Movement.Search
+      | m -> m
+    in
+    if next <> cur then begin
+      Atomic.set t.mode (int_of_mode next);
+      t.events <- { at = now; from_mode = cur; to_mode = next; per_rev } :: t.events
+    end
+  end
+
+let note_request t ~now =
+  Mutex.lock t.mu;
+  if t.window_start = 0. then t.window_start <- now;
+  t.window_count <- t.window_count + 1;
+  roll_window t ~now;
+  Mutex.unlock t.mu
+
+let tick t ~now =
+  Mutex.lock t.mu;
+  if t.window_start = 0. then t.window_start <- now else roll_window t ~now;
+  Mutex.unlock t.mu
+
+let per_rev t =
+  Mutex.lock t.mu;
+  let v = t.last_per_rev in
+  Mutex.unlock t.mu;
+  v
+
+let switches t =
+  Mutex.lock t.mu;
+  let ev = List.rev t.events in
+  Mutex.unlock t.mu;
+  ev

@@ -1,0 +1,65 @@
+(** Online ring ↔ binary-search switching.
+
+    The paper's Figure 10 shows the crossover offline: rotating the
+    token beats request-driven binary search once the request arrival
+    rate per token revolution passes a threshold near one, and loses
+    well below it. This module runs that comparison {e online}: the
+    server feeds it every injected request, it estimates the arrival
+    rate over a sliding window, normalises to requests per revolution
+    ([rate × n × hop]), and flips the cluster's movement mode through a
+    hysteresis band ([hi] → Rotate, [lo] → Search; [hi > lo] so load
+    noise near the crossover cannot make the token thrash).
+
+    In Search mode the directive also carries [park_after] — §4.4's
+    adaptive token speed: an idle token parks after a bounded number of
+    idle hops instead of circulating forever.
+
+    Thread model: {!note_request} and {!tick} take an internal mutex;
+    {!directive} reads a single [Atomic] and is safe to call from every
+    shard domain on every token dispatch. Call {!tick} from the report
+    loop so a ramp {e down} to zero load still closes windows (no
+    requests means {!note_request} never fires). *)
+
+open Tr_apps
+
+type config = {
+  n : int;  (** Ring size, for the per-revolution normalisation. *)
+  hop_s : float;  (** One-hop latency estimate (the cluster's hop delay). *)
+  window_s : float;  (** Rate-estimation window length. *)
+  hi : float;  (** Switch Search→Rotate at ≥ [hi] requests/revolution. *)
+  lo : float;  (** Switch Rotate→Search at ≤ [lo] requests/revolution. *)
+  park_after : int option;  (** Idle-hop park bound while in Search mode. *)
+  initial : Movement.mode;
+}
+
+val default_config : n:int -> hop_s:float -> config
+(** Window of ten token revolutions ([10 × n × hop] — clock-agnostic:
+    all times here are in whatever clock [now] values use, time units on
+    the live cluster), band \[0.75, 2.0\] requests/revolution around the
+    paper's crossover, park after [2n] idle hops, start in Search. *)
+
+type switch_event = {
+  at : float;  (** Wall-clock time of the switch. *)
+  from_mode : Movement.mode;
+  to_mode : Movement.mode;
+  per_rev : float;  (** The estimate that triggered it. *)
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] unless [hi > lo]. *)
+
+val note_request : t -> now:float -> unit
+(** One client request entered the cluster. *)
+
+val tick : t -> now:float -> unit
+(** Close the window if overdue; call periodically from the reporter. *)
+
+val mode : t -> Movement.mode
+val directive : t -> unit -> Movement.directive
+val per_rev : t -> float
+(** Last completed window's requests-per-revolution estimate. *)
+
+val switches : t -> switch_event list
+(** All switch events so far, oldest first. *)

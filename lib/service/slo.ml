@@ -1,0 +1,75 @@
+module P2 = Tr_stats.P2
+
+type t = {
+  mu : Mutex.t;
+  p50 : P2.t;
+  p99 : P2.t;
+  p999 : P2.t;
+  mutable grants : int;
+  mutable commits : int;
+  mutable rejects : int;
+  mutable started : int;
+  mutable latency_sum : float;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    p50 = P2.create ~p:0.50;
+    p99 = P2.create ~p:0.99;
+    p999 = P2.create ~p:0.999;
+    grants = 0;
+    commits = 0;
+    rejects = 0;
+    started = 0;
+    latency_sum = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let note_started t = locked t (fun () -> t.started <- t.started + 1)
+let note_reject t = locked t (fun () -> t.rejects <- t.rejects + 1)
+
+let note_latency t ~kind dt =
+  locked t (fun () ->
+      (match kind with
+      | `Grant -> t.grants <- t.grants + 1
+      | `Commit -> t.commits <- t.commits + 1);
+      t.latency_sum <- t.latency_sum +. dt;
+      P2.add t.p50 dt;
+      P2.add t.p99 dt;
+      P2.add t.p999 dt)
+
+type snapshot = {
+  grants : int;
+  commits : int;
+  rejects : int;
+  started : int;
+  samples : int;
+  mean : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      {
+        grants = t.grants;
+        commits = t.commits;
+        rejects = t.rejects;
+        started = t.started;
+        samples = P2.count t.p50;
+        mean =
+          (let c = P2.count t.p50 in
+           if c = 0 then Float.nan else t.latency_sum /. float_of_int c);
+        p50 = P2.estimate t.p50;
+        p99 = P2.estimate t.p99;
+        p999 = P2.estimate t.p999;
+      })
+
+let pp_ms ppf v =
+  if Float.is_nan v then Format.fprintf ppf "-"
+  else Format.fprintf ppf "%.2fms" (v *. 1e3)

@@ -1,0 +1,36 @@
+(** Streamed SLO accounting for the service layer.
+
+    Wraps three {!Tr_stats.P2} sketches (p50 / p99 / p999) behind a
+    mutex so the loadgen's receive path (one domain) and the periodic
+    reporter (another) can share one accumulator. Latency is whatever
+    the caller measures — the loadgen feeds request-to-grant and
+    request-to-commit wall-clock seconds. *)
+
+type t
+
+val create : unit -> t
+
+val note_started : t -> unit
+(** A request left the client (denominator for loss accounting). *)
+
+val note_reject : t -> unit
+
+val note_latency : t -> kind:[ `Grant | `Commit ] -> float -> unit
+(** Record a completed request's latency in seconds. *)
+
+type snapshot = {
+  grants : int;
+  commits : int;
+  rejects : int;
+  started : int;
+  samples : int;
+  mean : float;  (** Exact streamed mean; NaN with zero samples. *)
+  p50 : float;  (** NaN until enough samples ({!Tr_stats.P2} semantics). *)
+  p99 : float;
+  p999 : float;
+}
+
+val snapshot : t -> snapshot
+
+val pp_ms : Format.formatter -> float -> unit
+(** Seconds rendered as milliseconds; NaN renders as ["-"]. *)

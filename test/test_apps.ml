@@ -234,6 +234,69 @@ let test_intervals_overlap_detector () =
   Alcotest.(check bool) "overlapping" true
     (Tr_apps.Mutex.intervals_overlap [ (0, 0.0, 1.0); (1, 0.5, 2.0) ])
 
+(* ---------------- app transcript goldens ---------------- *)
+
+(* Full-transcript pins for the mutex and total-order applications. The
+   sim engine is deterministic from the seed, so the complete trace —
+   every send/recv/request/serve/possession/note — is reproducible
+   byte-for-byte. These were generated from the pre-service-layer code
+   and guard the hybrid-movement refactor: with default options (Search
+   movement, no directive, no parking, no hooks) the apps must produce
+   the identical transcript, proving the service layer changed no app
+   semantics. Regenerate with TR_APP_GOLDEN_REGEN=<dir>. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_app_golden ~file log =
+  match Sys.getenv_opt "TR_APP_GOLDEN_REGEN" with
+  | Some dir ->
+      let oc = open_out_bin (Filename.concat dir file) in
+      output_string oc log;
+      close_out oc
+  | None -> Alcotest.(check string) file (read_file ("golden/" ^ file)) log
+
+let render_transcript ?(keep = 800) trace =
+  let lines =
+    List.filteri (fun i _ -> i < keep) (Trace.events trace)
+    |> List.map (fun { Trace.time; event } ->
+           Format.asprintf "%.3f %a" time Trace.pp_event event)
+  in
+  String.concat "\n" lines ^ "\n"
+
+let test_golden_mutex_transcript () =
+  let module P = (val Tr_apps.Mutex.make ~cs_duration:2.0 ()) in
+  let module E = Engine.Make (P) in
+  let config =
+    {
+      (Engine.default_config ~n:8 ~seed:11) with
+      workload = Workload.Global_poisson { mean_interarrival = 3.0 };
+      trace = true;
+    }
+  in
+  let t = E.create config in
+  E.run t ~stop:(Engine.After_serves 30);
+  check_app_golden ~file:"app_mutex_n8_seed11.txt" (render_transcript (E.trace t))
+
+let test_golden_total_order_transcript () =
+  let t =
+    let config =
+      {
+        (Engine.default_config ~n:8 ~seed:11) with
+        workload = Workload.Global_poisson { mean_interarrival = 4.0 };
+        trace = true;
+      }
+    in
+    let t = TO.create config in
+    TO.run t ~stop:(Engine.After_serves 25);
+    t
+  in
+  check_app_golden ~file:"app_total_order_n8_seed11.txt"
+    (render_transcript (TO.trace t))
+
 (* ---------------- scheduler ---------------- *)
 
 let run_scheduler ~weight ~n ~serves =
@@ -338,6 +401,12 @@ let () =
           Alcotest.test_case "overlap detector" `Quick test_intervals_overlap_detector;
         ]
         @ qsuite [ prop_mutex_safety_random_seeds ] );
+      ( "golden",
+        [
+          Alcotest.test_case "mutex transcript" `Quick test_golden_mutex_transcript;
+          Alcotest.test_case "total-order transcript" `Quick
+            test_golden_total_order_transcript;
+        ] );
       ( "scheduler",
         [
           Alcotest.test_case "round-robin fair" `Quick test_scheduler_round_robin_fair;
