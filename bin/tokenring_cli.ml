@@ -596,8 +596,30 @@ let readiness_arg =
     value & opt (some string) None
     & info [ "readiness" ] ~docv:"BACKEND"
         ~doc:
-          "Force the socket readiness backend: epoll, poll or select. \
-           Default picks the best available (TR_READINESS also honoured).")
+          "Force the socket wait backend: uring, epoll, poll or select. \
+           uring switches the transport into io_uring completion mode \
+           (batched submissions, one enter per wait). Default picks the \
+           best available of epoll/poll (TR_READINESS also honoured); an \
+           unavailable forced backend falls back loudly.")
+
+let spin_arg =
+  Arg.(
+    value & flag
+    & info [ "spin" ]
+        ~doc:
+          "Adaptive spin-then-block before each shard wait: busy-poll \
+           user-space signals (completion queue, in-process mailboxes) \
+           for a window sized by the recent inter-event gap (TR_SPIN \
+           also honoured).")
+
+let inproc_arg =
+  Arg.(
+    value & flag
+    & info [ "inproc" ]
+        ~doc:
+          "Deliver frames between co-hosted nodes through in-process \
+           mailboxes instead of sockets: identical framing and ordering, \
+           zero syscalls per hop (TR_INPROC also honoured).")
 
 let pin_arg =
   Arg.(
@@ -612,8 +634,8 @@ let parse_readiness = function
       | Ok b -> Some b
       | Error e -> die "--readiness: %s" e)
 
-let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration
-    ~readiness ~pin =
+let live_config ?(spin = false) ?(inproc = false) ~n ~seed ~unit_s ~shards
+    ~max_wall_s ~load ~grants ~duration ~readiness ~pin () =
   if n < 1 then die "need at least one node";
   let stop =
     match grants with
@@ -629,6 +651,8 @@ let live_config ~n ~seed ~unit_s ~shards ~max_wall_s ~load ~grants ~duration
       max_wall_s;
       readiness = parse_readiness readiness;
       pin_cores = pin;
+      spin;
+      inproc;
     }
   in
   if shards > 0 then { config with shards } else config
@@ -668,13 +692,13 @@ let run_live ?backend config packed =
 
 let serve_cmd =
   let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
-      duration readiness pin =
+      duration readiness spin inproc pin =
     if uds = None && tcp_base = None then
       die "serve needs a socket backend: --uds DIR or --tcp-base PORT";
     let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
     let config =
-      live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load:Cluster.No_load
-        ~grants ~duration ~readiness ~pin
+      live_config ~spin ~inproc ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall
+        ~load:Cluster.No_load ~grants ~duration ~readiness ~pin ()
     in
     let report = run_live ?backend config (find_packed protocol) in
     print_string (Live_export.json_of_report report)
@@ -687,13 +711,14 @@ let serve_cmd =
     Term.(
       const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
       $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
-      $ grants_stop_arg $ duration_arg $ readiness_arg $ pin_arg)
+      $ grants_stop_arg $ duration_arg $ readiness_arg $ spin_arg $ inproc_arg
+      $ pin_arg)
 
 (* ---------------- loadgen ---------------- *)
 
 let loadgen_cmd =
   let run protocol n seed unit_s shards max_wall own uds tcp_base host grants
-      duration closed open_mean readiness pin =
+      duration closed open_mean readiness spin inproc pin =
     let load =
       match (closed, open_mean) with
       | Some _, Some _ -> die "choose one of --closed and --open"
@@ -703,8 +728,8 @@ let loadgen_cmd =
     in
     let backend = resolve_backend ~n ~own ~uds ~tcp_base ~host in
     let config =
-      live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall ~load ~grants
-        ~duration ~readiness ~pin
+      live_config ~spin ~inproc ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall
+        ~load ~grants ~duration ~readiness ~pin ()
     in
     let report = run_live ?backend config (find_packed protocol) in
     print_string (Live_export.json_of_report report)
@@ -731,7 +756,7 @@ let loadgen_cmd =
       const run $ protocol_arg $ nodes $ seed $ unit_arg $ shards_arg
       $ max_wall_arg $ own_arg $ uds_arg $ tcp_base_arg $ host_arg
       $ grants_stop_arg $ duration_arg $ closed $ open_mean $ readiness_arg
-      $ pin_arg)
+      $ spin_arg $ inproc_arg $ pin_arg)
 
 (* ---------------- service / service-loadgen ---------------- *)
 
@@ -1122,7 +1147,7 @@ let run_fleet ~procs ~addrs ~config packed =
 
 let cluster_bench_cmd =
   let run protocols ns_spec seed grants mean closed unit_s shards max_wall json
-      uds procs readiness pin duration =
+      uds procs readiness spin inproc pin duration =
     let protocols = if protocols = [] then [ "ring"; "binsearch" ] else protocols in
     let ns = parse_id_ranges ns_spec in
     if ns = [] then die "empty -N sweep";
@@ -1143,8 +1168,9 @@ let cluster_bench_cmd =
             List.map
               (fun protocol ->
                 let mk_config ~grants ~duration =
-                  live_config ~n ~seed ~unit_s ~shards ~max_wall_s:max_wall
-                    ~load ~grants ~duration ~readiness ~pin
+                  live_config ~spin ~inproc ~n ~seed ~unit_s ~shards
+                    ~max_wall_s:max_wall ~load ~grants ~duration ~readiness
+                    ~pin ()
                 in
                 let backend_desc dir =
                   Printf.sprintf "unix[%s]"
@@ -1229,7 +1255,7 @@ let cluster_bench_cmd =
                     Format.eprintf
                       "bench %-12s n=%5d %s/%s: %7d grants, %8.0f grants/s, \
                        resp %8.2f, %.1fs wall, %d waits, %d fds, %.1f \
-                       ready/wait@."
+                       ready/wait, %.2f syscalls/grant@."
                       protocol n report.Cluster.backend
                       report.Cluster.readiness report.Cluster.grants
                       (float_of_int report.Cluster.grants
@@ -1238,7 +1264,8 @@ let cluster_bench_cmd =
                          (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
                       report.Cluster.wall_s report.Cluster.wait_calls
                       report.Cluster.fds_registered
-                      report.Cluster.avg_ready_per_wait;
+                      report.Cluster.avg_ready_per_wait
+                      report.Cluster.syscalls_per_grant;
                     Tr_stats.Summary.mean
                       (Tr_sim.Metrics.responsiveness report.Cluster.metrics))
               protocols
@@ -1330,7 +1357,8 @@ let cluster_bench_cmd =
       $ Arg.(
           value & flag
           & info [ "json" ] ~doc:"Emit one JSON report per run instead of CSV.")
-      $ uds_arg $ procs $ readiness_arg $ pin_arg $ bench_duration)
+      $ uds_arg $ procs $ readiness_arg $ spin_arg $ inproc_arg $ pin_arg
+      $ bench_duration)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -21,6 +21,8 @@ type config = {
   max_wall_s : float;
   pin_cores : bool;
   readiness : Readiness.backend option;
+  spin : bool;
+  inproc : bool;
 }
 
 let default_shards n = Stdlib.min n (Stdlib.max 2 (Domain.recommended_domain_count ()))
@@ -38,6 +40,8 @@ let default_config ~n ~seed =
     max_wall_s = 60.0;
     pin_cores = false;
     readiness = None;
+    spin = false;
+    inproc = false;
   }
 
 type control = {
@@ -72,6 +76,11 @@ type report = {
   wait_calls : int;
   fds_registered : int;
   avg_ready_per_wait : float;
+  spin_hits : int;
+  spin_misses : int;
+  sqes_submitted : int;
+  inproc_frames : int;
+  syscalls_per_grant : float;
   metrics : Metrics.t;
 }
 
@@ -126,8 +135,8 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
     | Loopback -> (Transport.loopback ~clock ~n, List.init n Fun.id)
     | Sockets { owned; addrs } ->
         if owned = [] then invalid_arg "Cluster.run: no nodes to host";
-        ( Transport.sockets ?readiness:config.readiness ~clock ~n ~owned ~addrs
-            (),
+        ( Transport.sockets ?readiness:config.readiness ~spin:config.spin
+            ~inproc:config.inproc ~clock ~n ~owned ~addrs (),
           List.sort_uniq compare owned )
   in
   let owned_arr = Array.of_list owned in
@@ -534,8 +543,12 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
   Array.iter Wakeup.close wakes;
   Transport.close transport;
   (match Atomic.get failure_box with Some e -> raise e | None -> ());
-  let s = Transport.stats transport in
-  let wait_calls = Atomic.get s.wait_calls in
+  (* One coherent snapshot, not a field-by-field walk of live atomics:
+     the same primitive the service layer's periodic report uses, so a
+     report can never pair counters from two different moments. *)
+  let s = Transport.snapshot transport in
+  let wait_calls = s.Transport.snap_wait_calls in
+  let grants = Metrics.serves metrics in
   {
     protocol = P.name;
     n;
@@ -546,22 +559,33 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
     shards;
     wall_s = Clock.elapsed_wall clock;
     duration_units = Clock.now clock;
-    grants = Metrics.serves metrics;
-    frames_sent = Atomic.get s.frames_sent;
-    bytes_sent = Atomic.get s.bytes_sent;
-    frames_received = Atomic.get s.frames_received;
-    decode_errors = Atomic.get s.decode_errors;
-    resync_skips = Atomic.get s.resync_skips;
-    reconnects = Atomic.get s.reconnects;
-    frames_dropped = Atomic.get s.frames_dropped;
-    out_hwm_bytes = Atomic.get s.out_hwm_bytes;
-    write_syscalls = Atomic.get s.write_syscalls;
-    read_syscalls = Atomic.get s.read_syscalls;
+    grants;
+    frames_sent = s.Transport.snap_frames_sent;
+    bytes_sent = s.Transport.snap_bytes_sent;
+    frames_received = s.Transport.snap_frames_received;
+    decode_errors = s.Transport.snap_decode_errors;
+    resync_skips = s.Transport.snap_resync_skips;
+    reconnects = s.Transport.snap_reconnects;
+    frames_dropped = s.Transport.snap_frames_dropped;
+    out_hwm_bytes = s.Transport.snap_out_hwm_bytes;
+    write_syscalls = s.Transport.snap_write_syscalls;
+    read_syscalls = s.Transport.snap_read_syscalls;
     wait_calls;
-    fds_registered = Atomic.get s.fds_registered;
+    fds_registered = s.Transport.snap_fds_registered;
     avg_ready_per_wait =
       (if wait_calls = 0 then 0.0
-       else float_of_int (Atomic.get s.fds_ready) /. float_of_int wait_calls);
+       else float_of_int s.Transport.snap_fds_ready /. float_of_int wait_calls);
+    spin_hits = s.Transport.snap_spin_hits;
+    spin_misses = s.Transport.snap_spin_misses;
+    sqes_submitted = s.Transport.snap_sqes_submitted;
+    inproc_frames = s.Transport.snap_inproc_frames;
+    syscalls_per_grant =
+      (if grants = 0 then 0.0
+       else
+         float_of_int
+           (s.Transport.snap_write_syscalls + s.Transport.snap_read_syscalls
+          + wait_calls)
+         /. float_of_int grants);
     metrics;
   }
 

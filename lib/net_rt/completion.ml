@@ -1,0 +1,182 @@
+(* Completion-based I/O on io_uring: batched submission, one enter
+   draining many completions. See completion.mli for the model. *)
+
+type handle
+
+external ur_probe : unit -> bool = "tr_ur_probe"
+external ur_create : int -> int -> int -> handle = "tr_ur_create"
+external ur_close : handle -> unit = "tr_ur_close_stub"
+external ur_fixed : handle -> bool = "tr_ur_fixed"
+external ur_enters : handle -> int = "tr_ur_enters"
+external ur_sq_pending : handle -> int = "tr_ur_sq_pending"
+external ur_cq_pending : handle -> bool = "tr_ur_cq_pending"
+external ur_prep_poll : handle -> int -> int -> int -> bool = "tr_ur_prep_poll"
+external ur_prep_cancel : handle -> int -> bool = "tr_ur_prep_cancel"
+external ur_prep_read : handle -> int -> int -> int -> bool = "tr_ur_prep_read"
+
+external ur_prep_write : handle -> int -> int -> int -> int -> bool
+  = "tr_ur_prep_write"
+
+external ur_prep_accept : handle -> int -> int -> bool = "tr_ur_prep_accept"
+
+external ur_blit_to_slot : handle -> int -> Bytes.t -> int -> int -> unit
+  = "tr_ur_blit_to_slot"
+
+external ur_blit_from_slot : handle -> int -> Bytes.t -> int -> int -> unit
+  = "tr_ur_blit_from_slot"
+
+external ur_enter : handle -> int -> int array -> int array -> int
+  = "tr_ur_enter"
+
+external ur_res_class : int -> int = "tr_ur_res_class"
+external ur_poll_bits : int -> int = "tr_ur_poll_bits"
+external fd_int : Unix.file_descr -> int = "%identity"
+
+let disabled () =
+  match Sys.getenv_opt "TR_URING_DISABLE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* The kernel-side probe is cached (it costs a ring setup); the env
+   kill-switch is re-read every call so tests can flip it at runtime
+   to simulate an ENOSYS/EPERM kernel. *)
+let probe = lazy (ur_probe ())
+let available () = (not (disabled ())) && Lazy.force probe
+
+type t = {
+  h : handle;
+  nslots : int;
+  slot_bytes : int;
+  mutable free_slots : int list;
+  mutable free_count : int;
+  keys : int array;
+  ress : int array;
+  mutable sqes : int; (* sqes prepped over the ring's lifetime *)
+  mutable stash : (int * int) list;
+      (* CQEs consumed by an SQ-full flush, owed to the next [enter] *)
+}
+
+let drain_cap = 512
+
+let create ?(entries = 4096) ?(slots = 4096) ?(slot_bytes = 4096) () =
+  if not (available ()) then
+    failwith "Completion: io_uring unavailable (kernel support or disabled)";
+  if slots > 65536 then invalid_arg "Completion.create: slots > 65536";
+  let h = ur_create entries slots slot_bytes in
+  let free = List.init slots (fun i -> slots - 1 - i) in
+  {
+    h;
+    nslots = slots;
+    slot_bytes;
+    free_slots = free;
+    free_count = slots;
+    keys = Array.make drain_cap 0;
+    ress = Array.make drain_cap 0;
+    sqes = 0;
+    stash = [];
+  }
+
+let close t = ur_close t.h
+let slot_bytes t = t.slot_bytes
+let fixed_buffers t = ur_fixed t.h
+let enter_syscalls t = ur_enters t.h
+let sqes_submitted t = t.sqes
+let sq_pending t = ur_sq_pending t.h
+let cq_pending t = t.stash <> [] || ur_cq_pending t.h
+
+let alloc_slot t =
+  match t.free_slots with
+  | [] -> -1
+  | s :: rest ->
+      t.free_slots <- rest;
+      t.free_count <- t.free_count - 1;
+      s
+
+let free_slot t s =
+  t.free_slots <- s :: t.free_slots;
+  t.free_count <- t.free_count + 1
+
+let free_slots t = t.free_count
+
+(* A full SQ is flushed with a submit-only enter (a real syscall, which
+   enter_syscalls reports) and the prep retried; it cannot fail twice.
+   The flush also drains whatever CQEs were ready into keys/ress, so
+   those are stashed and owed to the next [enter] caller. *)
+let with_room t prep =
+  if prep () then ()
+  else begin
+    let n = ur_enter t.h 0 t.keys t.ress in
+    let fresh = ref [] in
+    for i = n - 1 downto 0 do
+      fresh := (t.keys.(i), t.ress.(i)) :: !fresh
+    done;
+    t.stash <- t.stash @ !fresh;
+    if not (prep ()) then failwith "Completion: submission queue stuck full"
+  end
+
+let prep_poll t fd bits key =
+  with_room t (fun () -> ur_prep_poll t.h (fd_int fd) bits key);
+  t.sqes <- t.sqes + 1
+
+let prep_cancel t key =
+  with_room t (fun () -> ur_prep_cancel t.h key);
+  t.sqes <- t.sqes + 1
+
+let prep_read t fd slot key =
+  with_room t (fun () -> ur_prep_read t.h (fd_int fd) slot key);
+  t.sqes <- t.sqes + 1
+
+let prep_write t fd slot len key =
+  with_room t (fun () -> ur_prep_write t.h (fd_int fd) slot len key);
+  t.sqes <- t.sqes + 1
+
+let prep_accept t fd key =
+  with_room t (fun () -> ur_prep_accept t.h (fd_int fd) key);
+  t.sqes <- t.sqes + 1
+
+let blit_to_slot t slot buf pos len = ur_blit_to_slot t.h slot buf pos len
+let blit_from_slot t slot buf pos len = ur_blit_from_slot t.h slot buf pos len
+
+let enter t ~timeout_ns ~f =
+  let dispatched = ref 0 in
+  (match t.stash with
+  | [] -> ()
+  | owed ->
+      t.stash <- [];
+      List.iter
+        (fun (key, res) ->
+          incr dispatched;
+          f ~key ~res)
+        owed);
+  (* Events already in hand mean the wait must not block. *)
+  let timeout_ns = if !dispatched > 0 then 0 else timeout_ns in
+  let n = ur_enter t.h timeout_ns t.keys t.ress in
+  (* Copy out before dispatching: callbacks may prep (and flush) new
+     sqes, which would reuse keys/ress. *)
+  let ks = Array.sub t.keys 0 n and rs = Array.sub t.ress 0 n in
+  for i = 0 to n - 1 do
+    incr dispatched;
+    f ~key:ks.(i) ~res:rs.(i)
+  done;
+  (* Drain any leftover CQEs beyond the array capacity without
+     re-blocking. *)
+  while cq_pending t do
+    let n = ur_enter t.h 0 t.keys t.ress in
+    let ks = Array.sub t.keys 0 n and rs = Array.sub t.ress 0 n in
+    for i = 0 to n - 1 do
+      incr dispatched;
+      f ~key:ks.(i) ~res:rs.(i)
+    done
+  done;
+  !dispatched
+
+type res_class = Ok | Retry | Canceled | Error
+
+let classify res =
+  match ur_res_class res with
+  | 0 -> Ok
+  | 1 -> Retry
+  | 2 -> Canceled
+  | _ -> Error
+
+let poll_bits res = ur_poll_bits res

@@ -1,0 +1,107 @@
+(** Completion-based I/O on Linux io_uring.
+
+    Where {!Readiness} answers "which fds could make progress?" and
+    leaves the read/write/accept syscalls to the caller, a completion
+    ring is handed the operations themselves: submissions are queued in
+    user space ([prep_*]), flushed in batches by a single
+    [io_uring_enter], and finished operations come back as completion
+    events — so a token hop that costs write + epoll_wait + read on the
+    readiness backends costs one enter here, and often zero when the
+    completion queue already holds the event.
+
+    The bindings are self-contained raw syscalls (no liburing). A ring
+    carries a C-allocated buffer arena of [slots] fixed-size slots;
+    kernel-visible I/O happens only in those slots (the OCaml GC may
+    move [Bytes.t] while a blocking section runs), and callers blit
+    payloads across the boundary with {!blit_to_slot} /
+    {!blit_from_slot}. When the kernel accepts buffer registration the
+    fixed-buffer opcodes are used automatically.
+
+    Completions are keyed by the integer [key] given at prep time.
+    Key [0] is reserved: cancellations complete with key 0 and are
+    ignored by dispatchers. *)
+
+type t
+
+val available : unit -> bool
+(** Kernel probe (cached) AND the [TR_URING_DISABLE] env kill-switch
+    (re-read on every call, so tests can simulate ENOSYS/EPERM
+    kernels). Requires io_uring features [SINGLE_MMAP] (5.4) and
+    [EXT_ARG] (5.11). *)
+
+val create : ?entries:int -> ?slots:int -> ?slot_bytes:int -> unit -> t
+(** Fails when {!available} is false. [entries] sizes the submission
+    ring; [slots]×[slot_bytes] sizes the buffer arena (defaults
+    4096×4096 ≈ 16 MiB per ring). *)
+
+val close : t -> unit
+(** Unmaps the rings and closes the ring fd; the kernel cancels any
+    in-flight operations. Safe to call twice. *)
+
+val slot_bytes : t -> int
+
+val fixed_buffers : t -> bool
+(** Whether REGISTER_BUFFERS was accepted (else plain READ/WRITE). *)
+
+val enter_syscalls : t -> int
+(** Actual [io_uring_enter] syscalls made so far, including SQ-full
+    flushes — the honest denominator for syscalls-per-grant. *)
+
+val sqes_submitted : t -> int
+(** Operations prepped over the ring's lifetime. *)
+
+val sq_pending : t -> int
+(** Submissions queued but not yet consumed by the kernel. *)
+
+val cq_pending : t -> bool
+(** Whether a completion is already waiting — a pure user-space read of
+    the mapped CQ ring, which is what the adaptive spin window polls
+    without burning syscalls. *)
+
+val alloc_slot : t -> int
+(** A free arena slot, or [-1] when exhausted (callers fall back to
+    direct syscalls — honest, counted — rather than blocking). *)
+
+val free_slot : t -> int -> unit
+
+val free_slots : t -> int
+
+val prep_poll : t -> Unix.file_descr -> int -> int -> unit
+(** [prep_poll t fd bits key]: one-shot poll with {!Readiness}-style
+    interest bits (1 = read, 2 = write). The completion [res] is a poll
+    revents mask — translate with {!poll_bits}. *)
+
+val prep_cancel : t -> int -> unit
+(** Cancel the in-flight operation submitted under [key]. The target
+    completes with [-ECANCELED]; the cancel itself completes under the
+    reserved key 0. *)
+
+val prep_read : t -> Unix.file_descr -> int -> int -> unit
+(** [prep_read t fd slot key]: read up to [slot_bytes] into [slot]. *)
+
+val prep_write : t -> Unix.file_descr -> int -> int -> int -> unit
+(** [prep_write t fd slot len key]: write [len] bytes from [slot]. *)
+
+val prep_accept : t -> Unix.file_descr -> int -> unit
+(** [prep_accept t fd key]: accept one connection; the completion [res]
+    is the new fd, already nonblocking and close-on-exec. *)
+
+val blit_to_slot : t -> int -> Bytes.t -> int -> int -> unit
+val blit_from_slot : t -> int -> Bytes.t -> int -> int -> unit
+
+val enter : t -> timeout_ns:int -> f:(key:int -> res:int -> unit) -> int
+(** Submit everything pending; when [timeout_ns > 0], block for one
+    completion or the timeout (releasing the runtime lock). Every
+    available completion is then dispatched through [f]; returns the
+    dispatch count. With [timeout_ns = 0] and nothing to submit this
+    makes no syscall at all. *)
+
+type res_class = Ok | Retry | Canceled | Error
+
+val classify : int -> res_class
+(** Negative [res] values are negated errnos: [Retry] for
+    EAGAIN/EINTR, [Canceled] for ECANCELED, [Error] otherwise. *)
+
+val poll_bits : int -> int
+(** Poll-completion revents → {!Readiness} bits, folding ERR/HUP into
+    both directions like the readiness backends do. *)

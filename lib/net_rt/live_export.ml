@@ -85,6 +85,11 @@ let json_of_report (r : Cluster.report) =
       ("wait_calls", string_of_int r.wait_calls);
       ("fds_registered", string_of_int r.fds_registered);
       ("avg_ready_per_wait", json_float r.avg_ready_per_wait);
+      ("spin_hits", string_of_int r.spin_hits);
+      ("spin_misses", string_of_int r.spin_misses);
+      ("sqes_submitted", string_of_int r.sqes_submitted);
+      ("inproc_frames", string_of_int r.inproc_frames);
+      ("syscalls_per_grant", json_float r.syscalls_per_grant);
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));
       ( "responsiveness_quantiles",

@@ -5,8 +5,14 @@
     O(ready) instead of the O(registered) rescans of [Unix.select] — the
     difference between an 8-node demo and a 10k-node cluster.
 
-    Three backends share one interface:
+    Four backends share one interface:
 
+    - {b uring} (Linux 5.11+): readiness via one-shot io_uring
+      POLL_ADD submissions batched into a single [io_uring_enter] per
+      wait, re-armed on report so the observable semantics stay
+      level-triggered. Opt-in (never the unforced default) — it exists
+      so the whole fd path can be forced through {!Completion} and is
+      the selector {!Transport} uses to decide completion mode.
     - {b epoll} (Linux): persistent kernel interest list, O(ready)
       dispatch, no fd-count ceiling. Level-triggered, so a frame left
       unread keeps reporting — no edge-trigger starvation bugs.
@@ -19,30 +25,42 @@
       break.
 
     The default backend is the first available in the chain
-    epoll → poll → select, overridable with [TR_READINESS=epoll|poll|select]
-    (an unknown or unavailable value fails loudly — a forced backend
-    silently downgrading would invalidate benchmarks).
+    epoll → poll → select, overridable with
+    [TR_READINESS=uring|epoll|poll|select]. An unknown forced value
+    fails loudly; a known-but-unavailable forced value falls back
+    loudly (stderr) down the chain uring → epoll → poll → select via
+    {!resolve}, so seccomp'd or old kernels degrade gracefully without
+    silently invalidating benchmark labels — the backend actually used
+    is always reported by {!backend}.
 
     A set must only be used from one domain at a time; the transport
     gives each shard its own. *)
 
-type backend = Epoll | Poll | Select
+type backend = Uring | Epoll | Poll | Select
 
 val backend_name : backend -> string
-(** ["epoll"], ["poll"] or ["select"]. *)
+(** ["uring"], ["epoll"], ["poll"] or ["select"]. *)
 
 val backend_of_string : string -> (backend, string) result
 (** Parse a [TR_READINESS] value; [Error] explains the choices. *)
 
 val available : backend -> bool
 (** Whether this build can create the backend ([Poll] and [Select] are
-    always available; [Epoll] only on Linux). *)
+    always available; [Epoll] only on Linux; [Uring] per
+    {!Completion.available}, including the [TR_URING_DISABLE]
+    kill-switch). *)
+
+val resolve : ?source:string -> backend -> backend
+(** [b] itself when available, else the first available backend after
+    [b] in the chain uring → epoll → poll → select, announced with a
+    loud one-line warning on stderr naming [source] (e.g.
+    ["TR_READINESS"], ["--readiness"]). *)
 
 val default_backend : unit -> backend
-(** [TR_READINESS] if set (an empty value reads as unset), else the
-    first available of epoll → poll → select.
-    @raise Failure if [TR_READINESS] names an unknown or unavailable
-    backend. *)
+(** [TR_READINESS] if set (an empty value reads as unset; an
+    unavailable value resolves loudly down the chain), else the first
+    available of epoll → poll → select — uring stays opt-in.
+    @raise Failure if [TR_READINESS] names an unknown backend. *)
 
 type t
 

@@ -72,6 +72,45 @@ type stats = {
   fds_registered : int Atomic.t;
       (** Gauge: fds currently registered across all shard readiness
           sets (listeners, connections, wake pipes). *)
+  spin_hits : int Atomic.t;
+      (** Adaptive-spin windows that ended with work already in hand
+          (mapped completion queue or in-process mailbox non-empty), so
+          the kernel wait became a free zero-timeout drain. *)
+  spin_misses : int Atomic.t;
+      (** Spin windows that expired empty and fell through to a blocking
+          wait. *)
+  sqes_submitted : int Atomic.t;
+      (** io_uring submissions queued (completion mode only). Divided by
+          [wait_calls] this gives the average submission batch riding
+          each enter. *)
+  inproc_frames : int Atomic.t;
+      (** Frames delivered through the in-process fast path — no socket,
+          no syscall, never counted in [write_syscalls]/[read_syscalls]. *)
+}
+
+(** One coherent reading of every counter. Each field is a single
+    [Atomic.get] of the corresponding {!stats} counter, all taken in one
+    call — the way to print or export totals while shard domains are
+    still running (or racing to finish), instead of re-reading live
+    atomics one by one mid-report. *)
+type snapshot = {
+  snap_frames_sent : int;
+  snap_bytes_sent : int;
+  snap_frames_received : int;
+  snap_decode_errors : int;
+  snap_resync_skips : int;
+  snap_reconnects : int;
+  snap_frames_dropped : int;
+  snap_out_hwm_bytes : int;
+  snap_write_syscalls : int;
+  snap_read_syscalls : int;
+  snap_wait_calls : int;
+  snap_fds_ready : int;
+  snap_fds_registered : int;
+  snap_spin_hits : int;
+  snap_spin_misses : int;
+  snap_sqes_submitted : int;
+  snap_inproc_frames : int;
 }
 
 type t
@@ -80,10 +119,23 @@ val name : t -> string
 (** Backend name for report stamping: ["loopback"], ["tcp"] or ["unix"]. *)
 
 val readiness_backend : t -> string
-(** Readiness backend driving {!wait}: ["epoll"], ["poll"] or
-    ["select"] for sockets; ["none"] for loopback. *)
+(** Backend driving {!wait}: ["uring"], ["epoll"], ["poll"] or
+    ["select"] for sockets (the backend actually in use after loud
+    fallback, not the one requested); ["none"] for loopback. *)
 
 val stats : t -> stats
+
+val snapshot : t -> snapshot
+(** Read every counter once, atomically enough for reporting: no
+    counter is read twice, so a report printed while shards still run
+    cannot show a ratio computed from two different moments of the same
+    counter. *)
+
+val snapshot_of_stats : stats -> snapshot
+(** As {!snapshot}, from a bare {!stats} record — for embedders that
+    hold only {!Cluster.control.transport_stats} (the service front-end
+    printing periodic reports while the cluster is live, or racing its
+    teardown). *)
 
 val send : t -> src:int -> dst:int -> delay:float -> string -> unit
 (** Ship one complete frame. [delay] is in clock units (loopback only).
@@ -145,6 +197,8 @@ val loopback : clock:Clock.t -> n:int -> t
 
 val sockets :
   ?readiness:Readiness.backend ->
+  ?spin:bool ->
+  ?inproc:bool ->
   clock:Clock.t ->
   n:int ->
   owned:int list ->
@@ -153,10 +207,31 @@ val sockets :
   t
 (** Host the nodes in [owned] (listeners are bound immediately); sends
     may target any node in [addrs]. [name] reports ["unix"] if the first
-    address is a Unix-domain path, ["tcp"] otherwise. [readiness] forces
-    a wait backend; the default honours [TR_READINESS] and otherwise
-    picks the best available (epoll, then poll — see
-    {!Readiness.default_backend}).
+    address is a Unix-domain path, ["tcp"] otherwise.
+
+    [readiness] forces a wait backend; the default honours
+    [TR_READINESS] and otherwise picks the best available (epoll, then
+    poll — see {!Readiness.default_backend}). Forcing (or resolving to)
+    [Uring] switches the whole transport into completion mode: reads,
+    writes and accepts become batched io_uring submissions flushed by
+    the single enter of each {!wait}, and an unavailable uring falls
+    back loudly down the chain.
+
+    [spin] (default [TR_SPIN], else off) enables the adaptive
+    spin-then-block window before each blocking wait; it only ever
+    polls user-space signals, so it never adds syscalls. On a
+    single-CPU host the window is gated off with a loud stderr notice:
+    an idle shard's busy-poll would steal the working shard's only
+    core, inverting the trade.
+
+    [inproc] (default [TR_INPROC], else off) routes frames between
+    co-hosted nodes through lock-free in-process mailboxes — identical
+    framing and delivery order, zero syscalls per hop. A {!wait} that
+    drained in-process work skips the kernel visit entirely when it has
+    nothing to block for (in completion mode only when the submission
+    and completion queues are both provably empty; in readiness mode at
+    most 63 times in a row, so socket fds are still visited).
+    Cross-process peers are unaffected.
     @raise Invalid_argument on bad [owned] ids or array size.
     @raise Failure on an unavailable forced backend or a bad
     [TR_READINESS] value. *)

@@ -65,6 +65,7 @@ type result = {
   conn_failures : int;
   outstanding : int;  (** Requests still unanswered when the run ended. *)
   slo : Slo.snapshot;
+  phase_slos : (phase * Slo.snapshot) list;
 }
 
 (* Pending client sends, keyed by due wall time: a flat binary min-heap
@@ -166,6 +167,13 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let run cfg =
   validate cfg;
   let slo = Slo.create () in
+  (* One accumulator per configured phase: a response always lands in
+     the phase that ISSUED the request (carried through [in_flight]),
+     not whichever phase is current when the response arrives — the
+     tail of an overloaded ramp step is charged to that step. *)
+  let nphases = List.length cfg.phases in
+  let phase_slos = Array.init nphases (fun _ -> Slo.create ()) in
+  let cur_phase = ref 0 in
   let sent = ref 0
   and welcomes = ref 0
   and grants = ref 0
@@ -261,15 +269,16 @@ let run cfg =
      maps (client, seq) to send wall time; completion is Grant for the
      mutex app and Committed for total order. *)
   let next_seq = Array.make cfg.clients 0 in
-  let in_flight : (int * int, float) Hashtbl.t =
+  let in_flight : (int * int, float * int) Hashtbl.t =
     Hashtbl.create (4 * cfg.clients)
   in
   let idle = Array.make cfg.clients true in
   let fire client =
     let seq = next_seq.(client) in
     next_seq.(client) <- seq + 1;
-    Hashtbl.replace in_flight (client, seq) (Unix.gettimeofday ());
+    Hashtbl.replace in_flight (client, seq) (Unix.gettimeofday (), !cur_phase);
     Slo.note_started slo;
+    Slo.note_started phase_slos.(!cur_phase);
     incr sent;
     idle.(client) <- false;
     match cfg.app with
@@ -281,9 +290,11 @@ let run cfg =
   let complete ~kind client seq =
     match Hashtbl.find_opt in_flight (client, seq) with
     | None -> ()
-    | Some t0 ->
+    | Some (t0, issued_phase) ->
         Hashtbl.remove in_flight (client, seq);
-        Slo.note_latency slo ~kind (Unix.gettimeofday () -. t0)
+        let d = Unix.gettimeofday () -. t0 in
+        Slo.note_latency slo ~kind d;
+        Slo.note_latency phase_slos.(issued_phase) ~kind d
   in
   (* Mutable workload state, advanced by [roll_phases]. *)
   let phases = ref cfg.phases in
@@ -322,6 +333,7 @@ let run cfg =
           Heap.clear thinks
       | _ :: (p :: _ as rest) ->
           phases := rest;
+          incr cur_phase;
           start_phase now p
     end
   in
@@ -353,6 +365,9 @@ let run cfg =
     | Service_wire.Rejected { client; seq; reason = _ } ->
         incr rejects;
         Slo.note_reject slo;
+        (match Hashtbl.find_opt in_flight (client, seq) with
+        | Some (_, issued_phase) -> Slo.note_reject phase_slos.(issued_phase)
+        | None -> ());
         Hashtbl.remove in_flight (client, seq);
         on_completion client
   in
@@ -477,6 +492,24 @@ let run cfg =
       end)
     conns;
   Readiness.close rd;
+  let phase_snaps =
+    List.mapi (fun i p -> (p, Slo.snapshot phase_slos.(i))) cfg.phases
+  in
+  if cfg.verbose && nphases > 1 then
+    List.iteri
+      (fun i ((p : phase), (s : Slo.snapshot)) ->
+        let ms v = Format.asprintf "%a" Slo.pp_ms v in
+        Printf.printf
+          "[loadgen] phase %d (%s, %.1fs): started=%d done=%d rejects=%d \
+           p50=%s p99=%s p999=%s\n\
+           %!"
+          i
+          (match p.workload with
+          | Closed { think_s } -> Printf.sprintf "closed think=%gs" think_s
+          | Open { rate } -> Printf.sprintf "open %g req/s" rate)
+          p.duration_s s.Slo.started s.Slo.samples s.Slo.rejects
+          (ms s.Slo.p50) (ms s.Slo.p99) (ms s.Slo.p999))
+      phase_snaps;
   {
     sent = !sent;
     welcomes = !welcomes;
@@ -489,6 +522,7 @@ let run cfg =
     conn_failures = !conn_failures;
     outstanding = Hashtbl.length in_flight;
     slo = Slo.snapshot slo;
+    phase_slos = phase_snaps;
   }
 
 let result_json (r : result) =
@@ -511,4 +545,31 @@ let result_json (r : result) =
       ("p50_s", json_float s.Slo.p50);
       ("p99_s", json_float s.Slo.p99);
       ("p999_s", json_float s.Slo.p999);
+      ( "phases",
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun ((p : phase), (ps : Slo.snapshot)) ->
+                 obj
+                   [
+                     ( "workload",
+                       json_string
+                         (match p.workload with
+                         | Closed { think_s } ->
+                             Printf.sprintf "closed think=%g" think_s
+                         | Open { rate } -> Printf.sprintf "open rate=%g" rate)
+                     );
+                     ("duration_s", json_float p.duration_s);
+                     ("started", string_of_int ps.Slo.started);
+                     ("samples", string_of_int ps.Slo.samples);
+                     ("grants", string_of_int ps.Slo.grants);
+                     ("commits", string_of_int ps.Slo.commits);
+                     ("rejects", string_of_int ps.Slo.rejects);
+                     ("mean_s", json_float ps.Slo.mean);
+                     ("p50_s", json_float ps.Slo.p50);
+                     ("p99_s", json_float ps.Slo.p99);
+                     ("p999_s", json_float ps.Slo.p999);
+                   ])
+               r.phase_slos)
+        ^ "]" );
     ]

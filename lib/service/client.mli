@@ -57,6 +57,13 @@ type result = {
   conn_failures : int;
   outstanding : int;  (** Requests still unanswered when the run ended. *)
   slo : Slo.snapshot;
+  phase_slos : (phase * Slo.snapshot) list;
+      (** One accumulator per configured phase, in phase order. A
+          response is attributed to the phase that {e issued} the
+          request — recorded at send time and carried with the in-flight
+          entry — so the latency tail of an overloaded ramp step lands
+          on that step even when responses arrive after the ramp has
+          moved on. [started]/[rejects] are attributed the same way. *)
 }
 
 val run : config -> result

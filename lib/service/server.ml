@@ -429,7 +429,13 @@ let run ?on_ready config =
   in
   let print_report () =
     if config.verbose then begin
-      let ts = control.Cluster.transport_stats in
+      (* One coherent snapshot: the cluster's shard domains are still
+         mutating these counters (and may be tearing down), so reading
+         live atomics field by field could pair values from different
+         moments. *)
+      let ts =
+        Tr_net_rt.Transport.snapshot_of_stats control.Cluster.transport_stats
+      in
       let mode, per_rev =
         match config.mode with
         | Adaptive p ->
@@ -447,8 +453,8 @@ let run ?on_ready config =
         st.conns_open st.sessions st.requests st.grants_sent st.released_sent
         st.committed_sent st.rejected_sent mode per_rev st.fifo_hwm
         st.conn_out_hwm
-        (Atomic.get ts.Tr_net_rt.Transport.frames_dropped)
-        (Atomic.get ts.Tr_net_rt.Transport.out_hwm_bytes)
+        ts.Tr_net_rt.Transport.snap_frames_dropped
+        ts.Tr_net_rt.Transport.snap_out_hwm_bytes
         st.decode_errors st.resync_skips
     end
   in

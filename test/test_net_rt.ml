@@ -298,8 +298,23 @@ let test_unix_sockets_cluster () =
 
 (* ---------------- readiness backends ---------------- *)
 
+(* Uring joins the pool when this kernel can create a ring, so the
+   parity/chunking tests below cover the completion transport too. The
+   skip is loud: a CI lane silently never exercising uring is exactly
+   the kind of gap the forced-backend machinery exists to prevent. *)
+let uring_skip_notice =
+  lazy
+    (if not (Readiness.available Readiness.Uring) then
+       Printf.eprintf
+         "[test_net_rt] SKIP: io_uring unavailable on this kernel (or \
+          TR_URING_DISABLE set); uring legs of the parity/chunking tests \
+          will not run\n\
+          %!")
+
 let available_backends () =
-  List.filter Readiness.available [ Readiness.Epoll; Readiness.Poll; Readiness.Select ]
+  Lazy.force uring_skip_notice;
+  List.filter Readiness.available
+    [ Readiness.Uring; Readiness.Epoll; Readiness.Poll; Readiness.Select ]
 
 (* Register / report / level-trigger / remove, for every backend this
    build can create. *)
@@ -419,6 +434,51 @@ let test_readiness_env_forcing () =
                 "TR_READINESS=poll forces the transport backend" "poll"
                 (Transport.readiness_backend t))))
 
+(* The uring link of the fallback chain: parsing, the TR_URING_DISABLE
+   kill-switch (simulating an ENOSYS/EPERM kernel), and the loud
+   degradation uring -> epoll -> ... reaching an actual transport. *)
+let test_uring_fallback_chain () =
+  (match Readiness.backend_of_string "uring" with
+  | Ok Readiness.Uring -> ()
+  | _ -> Alcotest.fail "\"uring\" did not parse");
+  (match Readiness.backend_of_string "io_uring" with
+  | Ok Readiness.Uring -> ()
+  | _ -> Alcotest.fail "\"io_uring\" alias did not parse");
+  let saved = Sys.getenv_opt "TR_URING_DISABLE" in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Empty reads as unset, so restoring is always possible. *)
+      Unix.putenv "TR_URING_DISABLE" (Option.value saved ~default:""))
+    (fun () ->
+      Unix.putenv "TR_URING_DISABLE" "1";
+      Alcotest.(check bool)
+        "kill-switch makes uring unavailable" false
+        (Readiness.available Readiness.Uring);
+      let next =
+        if Readiness.available Readiness.Epoll then Readiness.Epoll
+        else Readiness.Poll
+      in
+      Alcotest.(check string)
+        "resolve falls down the chain"
+        (Readiness.backend_name next)
+        (Readiness.backend_name (Readiness.resolve ~source:"test" Readiness.Uring));
+      (* End to end: a transport forced onto uring under the kill-switch
+         must come up on the fallback and say so in its report label. *)
+      with_temp_dir (fun dir ->
+          let addrs = Transport.uds_addrs ~dir ~n:2 in
+          let clock = Tr_net_rt.Clock.create ~unit_s:1e-3 () in
+          let t =
+            Transport.sockets ~readiness:Readiness.Uring ~clock ~n:2
+              ~owned:[ 0; 1 ] ~addrs ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Transport.close t)
+            (fun () ->
+              Alcotest.(check string)
+                "forced uring fell back loudly"
+                (Readiness.backend_name next)
+                (Transport.readiness_backend t))))
+
 (* ---------------- backend parity over real sockets ---------------- *)
 
 (* The same closed-loop UDS ring, forced onto each backend in turn: the
@@ -426,18 +486,21 @@ let test_readiness_env_forcing () =
    deterministic and must be byte-identical across epoll, poll and
    select. Also pins the observability satellite: the report names the
    forced backend and carries live wait counters. *)
-let capture_sockets_ring_log ~backend ~n ~grants ~keep =
+let capture_sockets_ring_log ?(spin = false) ?(inproc = false) ?(shards = 1)
+    ~backend ~n ~grants ~keep () =
   with_temp_dir (fun dir ->
       let addrs = Transport.uds_addrs ~dir ~n in
       let config =
         {
           (Cluster.default_config ~n ~seed:7) with
           unit_s = 1e-3;
-          shards = 1;
+          shards;
           load = Cluster.Closed_loop { depth = 1 };
           stop = Cluster.Grants grants;
           max_wall_s = 30.0;
           readiness = Some backend;
+          spin;
+          inproc;
         }
       in
       let mu = Mutex.create () in
@@ -465,7 +528,7 @@ let test_backend_parity () =
     List.map
       (fun backend ->
         let report, log =
-          capture_sockets_ring_log ~backend ~n:3 ~grants:60 ~keep:40
+          capture_sockets_ring_log ~backend ~n:3 ~grants:60 ~keep:40 ()
         in
         let name = Readiness.backend_name backend in
         Alcotest.(check string)
@@ -498,6 +561,154 @@ let test_backend_parity () =
             (Printf.sprintf "%s token log == %s token log" name name0)
             log0 log)
         rest
+
+(* The in-process fast path must be invisible on the wire: the same
+   forced-backend closed-loop ring, with every hop short-circuited
+   through lock-free mailboxes, must produce a byte-identical processed
+   token log — and the report must prove the fast path actually carried
+   frames. *)
+let test_inproc_parity () =
+  let backend =
+    if Readiness.available Readiness.Epoll then Readiness.Epoll
+    else Readiness.Poll
+  in
+  let plain, log_plain =
+    capture_sockets_ring_log ~backend ~n:3 ~grants:60 ~keep:40 ()
+  in
+  let fast, log_fast =
+    capture_sockets_ring_log ~inproc:true ~backend ~n:3 ~grants:60 ~keep:40 ()
+  in
+  Alcotest.(check int)
+    "no inproc frames when disabled" 0 plain.Cluster.inproc_frames;
+  Alcotest.(check bool)
+    "fast path carried frames" true
+    (fast.Cluster.inproc_frames > 0);
+  Alcotest.(check int) "zero decode errors" 0 fast.Cluster.decode_errors;
+  Alcotest.(check string)
+    "token log identical through the fast path" log_plain log_fast;
+  (* Co-hosted hops never touch a socket, so the syscall bill collapses. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "syscalls/grant dropped (%.2f -> %.2f)"
+       plain.Cluster.syscalls_per_grant fast.Cluster.syscalls_per_grant)
+    true
+    (fast.Cluster.syscalls_per_grant < plain.Cluster.syscalls_per_grant)
+
+(* The adaptive spin window only arms when there is a user-space signal
+   to poll (completion ring or in-process mailboxes) and the shard would
+   otherwise block; two shards passing the token back and forth block
+   between hops, so the hit/miss counters must move — except on a
+   single-CPU host, where the transport gates spinning off (the idle
+   shard's busy-poll would steal the working shard's only core) and the
+   counters must stay exactly zero. Both branches are real assertions:
+   this test pins the gate itself. *)
+let test_spin_smoke () =
+  let backend =
+    if Readiness.available Readiness.Epoll then Readiness.Epoll
+    else Readiness.Poll
+  in
+  let report, _ =
+    capture_sockets_ring_log ~spin:true ~inproc:true ~shards:2 ~backend ~n:4
+      ~grants:60 ~keep:0 ()
+  in
+  let windows = report.Cluster.spin_hits + report.Cluster.spin_misses in
+  if Readiness.ncpus () > 1 then
+    Alcotest.(check bool)
+      (Printf.sprintf "spin windows ran (hits=%d misses=%d)"
+         report.Cluster.spin_hits report.Cluster.spin_misses)
+      true (windows > 0)
+  else
+    Alcotest.(check int) "single-CPU host: spin gated off" 0 windows;
+  Alcotest.(check int) "zero decode errors" 0 report.Cluster.decode_errors
+
+(* Regression guard for the teardown race in report assembly: totals
+   must come from one coherent [snapshot], not field-by-field re-reads
+   of live atomics. Quiescent, two snapshots and the raw counters must
+   agree exactly — and [snapshot_of_stats] (the service front-end's
+   path, which only holds the bare stats record) must match too. *)
+let test_stats_snapshot_coherent () =
+  with_temp_dir (fun dir ->
+      let n = 2 in
+      let addrs = Transport.uds_addrs ~dir ~n in
+      let clock = Tr_net_rt.Clock.create ~unit_s:1e-3 () in
+      let t = Transport.sockets ~clock ~n ~owned:[ 0; 1 ] ~addrs () in
+      Fun.protect
+        ~finally:(fun () -> Transport.close t)
+        (fun () ->
+          let frame stamp =
+            Tr_wire.Codec.encode_envelope Codecs.ring ~src:0
+              ~channel:Network.Reliable
+              (Tr_proto.Ring.Token { stamp })
+          in
+          let got = ref 0 in
+          Transport.send t ~src:0 ~dst:1 ~delay:0.0 (frame 1);
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while !got < 1 && Unix.gettimeofday () < deadline do
+            Transport.wait t ~owners:[ 0; 1 ] ~timeout_s:0.05 ();
+            (* Polling the sender flushes its coalesced outgoing buffer. *)
+            Transport.poll t ~owner:0 (fun _view -> ());
+            Transport.poll t ~owner:1 (fun _view -> incr got)
+          done;
+          Alcotest.(check int) "frame arrived" 1 !got;
+          let stats = Transport.stats t in
+          let a = Transport.snapshot t in
+          let b = Transport.snapshot_of_stats stats in
+          Alcotest.(check bool) "snapshots agree" true (a = b);
+          Alcotest.(check int)
+            "frames_sent coherent"
+            (Atomic.get stats.Transport.frames_sent)
+            a.Transport.snap_frames_sent;
+          Alcotest.(check int)
+            "frames_received coherent"
+            (Atomic.get stats.Transport.frames_received)
+            a.Transport.snap_frames_received;
+          Alcotest.(check bool)
+            "write syscalls counted" true
+            (a.Transport.snap_write_syscalls > 0)));
+  (* The race itself: a reporter snapshotting while shard domains still
+     mutate the counters (and then tear the transport down) must never
+     crash or read a torn record. Run a short cluster and snapshot its
+     stats from the control block mid-flight, exactly as the service
+     front-end does. *)
+  with_temp_dir (fun dir ->
+      let n = 3 in
+      let addrs = Transport.uds_addrs ~dir ~n in
+      let config =
+        {
+          (Cluster.default_config ~n ~seed:13) with
+          unit_s = 1e-3;
+          shards = 2;
+          load = Cluster.Closed_loop { depth = 1 };
+          stop = Cluster.Grants 120;
+          max_wall_s = 30.0;
+        }
+      in
+      let snaps = ref [] in
+      let tap (control : Cluster.control) ~self:_ _msg =
+        if List.length !snaps < 50 then
+          snaps :=
+            Transport.snapshot_of_stats control.Cluster.transport_stats
+            :: !snaps
+      in
+      let report =
+        Cluster.run ~tap
+          ~backend:(Cluster.Sockets { owned = List.init n Fun.id; addrs })
+          config
+          (module Tr_proto.Ring)
+          Codecs.ring
+      in
+      Alcotest.(check bool) "cluster ran" true (report.Cluster.grants >= 120);
+      Alcotest.(check bool) "mid-run snapshots taken" true (!snaps <> []);
+      (* Monotone counters must read monotone across snapshots taken in
+         tap order on one shard's timeline... they interleave across
+         shards, so just require every snapshot internally sane. *)
+      List.iter
+        (fun (s : Transport.snapshot) ->
+          Alcotest.(check bool)
+            "non-negative counters" true
+            (s.Transport.snap_frames_sent >= 0
+            && s.Transport.snap_frames_received >= 0
+            && s.Transport.snap_wait_calls >= 0))
+        !snaps)
 
 (* Feed frames to a hosted listener through a raw socket in adversarial
    chunks (byte-by-byte, then 3-byte slices) under each forced backend:
@@ -779,6 +990,13 @@ let () =
             test_backend_parity;
           Alcotest.test_case "adversarial chunking per backend" `Quick
             test_adversarial_chunking;
+          Alcotest.test_case "uring fallback chain" `Quick
+            test_uring_fallback_chain;
+          Alcotest.test_case "inproc fast-path parity" `Quick
+            test_inproc_parity;
+          Alcotest.test_case "adaptive spin counters" `Quick test_spin_smoke;
+          Alcotest.test_case "stats snapshot coherent" `Quick
+            test_stats_snapshot_coherent;
         ] );
       ( "golden",
         [
