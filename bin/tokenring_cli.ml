@@ -1360,6 +1360,112 @@ let cluster_bench_cmd =
       $ uds_arg $ procs $ readiness_arg $ spin_arg $ inproc_arg $ pin_arg
       $ bench_duration)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let run protocol n seed spec backend uds mean deadline unit_s shards json =
+    (match Tr_chaos.Scenario.of_string spec with
+    | Error e -> die "bad --spec: %s" e
+    | Ok s -> (
+        match Tr_chaos.Scenario.validate s ~n with
+        | Error e -> die "bad --spec: %s" e
+        | Ok () -> ()));
+    let outcome =
+      match backend with
+      | "sim" ->
+          if uds <> None then die "--uds needs --backend uds";
+          Tr_chaos_run.Chaos_run.run_sim ~protocol ~n ~seed ~spec ~mean
+            ?deadline ()
+      | "loopback" ->
+          Tr_chaos_run.Chaos_run.run_live ~protocol ~n ~seed ~spec ~mean
+            ?deadline ~unit_s ~shards ()
+      | "uds" ->
+          let dir =
+            match uds with
+            | Some d -> d
+            | None -> die "--backend uds needs --uds DIR"
+          in
+          Tr_chaos_run.Chaos_run.run_live ~protocol ~n ~seed ~spec
+            ~backend:
+              (Cluster.Sockets
+                 {
+                   owned = List.init n Fun.id;
+                   addrs = Live_transport.uds_addrs ~dir ~n;
+                 })
+            ~mean ?deadline ~unit_s ~shards ()
+      | b -> die "unknown --backend %S (expected sim, loopback or uds)" b
+    in
+    if json then print_string (Tr_chaos_run.Chaos_run.outcome_json outcome)
+    else begin
+      let o = outcome in
+      Format.printf
+        "chaos %s on %s (%s): %d grants, %d faults injected, %s@."
+        o.Tr_chaos_run.Chaos_run.protocol o.Tr_chaos_run.Chaos_run.backend
+        o.Tr_chaos_run.Chaos_run.spec o.Tr_chaos_run.Chaos_run.grants
+        o.Tr_chaos_run.Chaos_run.total_injected
+        (if o.Tr_chaos_run.Chaos_run.recovered then
+           Printf.sprintf "recovered %.1f units after faults cleared"
+             o.Tr_chaos_run.Chaos_run.recovery_time
+         else
+           Printf.sprintf "FLAGGED: %d nodes never recovered by t=%.0f"
+             o.Tr_chaos_run.Chaos_run.unrecovered_nodes
+             o.Tr_chaos_run.Chaos_run.deadline);
+      List.iter
+        (fun (k, v) -> if v > 0 then Format.printf "  %s=%d@." k v)
+        o.Tr_chaos_run.Chaos_run.injected
+    end
+  in
+  let spec_arg =
+    let doc =
+      Printf.sprintf
+        "Fault scenario: '+'-joined windows. Examples: %s."
+        (String.concat "; "
+           (List.map
+              (fun (s, d) -> Printf.sprintf "%s (%s)" s d)
+              Tr_chaos.Scenario.examples))
+    in
+    Arg.(
+      value
+      & opt string "partition:0-1|2-99@50-150+corrupt:0.02@20-200"
+      & info [ "spec" ] ~docv:"SPEC" ~doc)
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ] ~docv:"B"
+          ~doc:"Backend: sim (discrete-event), loopback (live in-process) \
+                or uds (live sockets, needs --uds DIR).")
+  in
+  let mean_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "mean" ] ~docv:"T"
+          ~doc:"Background request interarrival while faults are open, units.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"T"
+          ~doc:"Recovery deadline after the last fault window closes, \
+                units (default 40n).")
+  in
+  let chaos_nodes =
+    Arg.(
+      value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject a declarative fault scenario (partitions, loss, \
+          duplication, reordering, corruption, clock skew, churn) into a \
+          protocol on the simulator or the live runtime, probe every node \
+          when the faults clear, and report whether the protocol \
+          self-stabilized within the deadline")
+    Term.(
+      const run $ protocol_arg $ chaos_nodes $ seed $ spec_arg $ backend_arg
+      $ uds_arg $ mean_arg $ deadline_arg $ unit_arg $ shards_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON result line."))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1371,4 +1477,4 @@ let () =
        (Cmd.group ~default info
           [ list_cmd; run_cmd; compare_cmd; exp_cmd; verify_cmd; spec_cmd;
             explore_cmd; trace_cmd; serve_cmd; loadgen_cmd; cluster_bench_cmd;
-            service_cmd; service_loadgen_cmd ]))
+            service_cmd; service_loadgen_cmd; chaos_cmd ]))

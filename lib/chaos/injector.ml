@@ -1,0 +1,280 @@
+(* Seed-deterministic fault injection.
+
+   Every decision is a pure hash of (seed, fault index, src, dst, k)
+   where k is the per-link send counter — no mutable RNG stream. Two
+   backends observing the same per-link traffic therefore inject the
+   *identical* fault sequence for the same seed, regardless of how their
+   event loops interleave links: determinism is per-link, so it survives
+   multi-domain shard scheduling on the live runtime and event-heap
+   ordering in the simulator. The per-link counter advances on every
+   send (active windows or not), so a fault window opening later in one
+   backend than the traffic pattern of the other cannot shift k. *)
+
+type action = {
+  drop : bool;
+  copies : int;
+  extra_delay : float;
+  corrupt : bool;
+  link_count : int;
+}
+
+let pass_action ~k =
+  { drop = false; copies = 1; extra_delay = 0.0; corrupt = false; link_count = k }
+
+type event = { label : string; src : int; dst : int; k : int }
+
+let max_logged = 64
+
+type t = {
+  seed : int;
+  n : int;
+  scenario : Scenario.t;
+  faults : (int * Scenario.fault) array;  (* (stable fault index, fault) *)
+  (* Per-source link counters; each source is only ever touched by the
+     shard (or the single sim domain) that owns it, so the per-source
+     table has one writer. *)
+  links : (int, int ref) Hashtbl.t array;
+  (* Injection counts per fault class. *)
+  partition_drops : int Atomic.t;
+  loss_drops : int Atomic.t;
+  duplicates : int Atomic.t;
+  reorders : int Atomic.t;
+  corruptions : int Atomic.t;
+  churn_drops : int Atomic.t;
+  skew_scalings : int Atomic.t;
+  (* Order-independent digest over every injected event: equal per-link
+     event sets hash equal regardless of interleaving. *)
+  digest : int Atomic.t;
+  log_len : int Atomic.t;
+  log : event option array;
+}
+
+let create ~seed ~n scenario =
+  if n < 1 then invalid_arg "Injector.create: n < 1";
+  {
+    seed;
+    n;
+    scenario;
+    faults = Array.of_list (List.mapi (fun i f -> (i, f)) (Scenario.faults scenario));
+    links = Array.init n (fun _ -> Hashtbl.create 8);
+    partition_drops = Atomic.make 0;
+    loss_drops = Atomic.make 0;
+    duplicates = Atomic.make 0;
+    reorders = Atomic.make 0;
+    corruptions = Atomic.make 0;
+    churn_drops = Atomic.make 0;
+    skew_scalings = Atomic.make 0;
+    digest = Atomic.make 0;
+    log_len = Atomic.make 0;
+    log = Array.make max_logged None;
+  }
+
+let scenario t = t.scenario
+let seed t = t.seed
+
+(* ---------------- the pure decision core ---------------- *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let feed h v =
+  mix64 (Int64.add (Int64.mul h 0x100000001B3L) (Int64.of_int v))
+
+let decision_hash ~seed ~fault ~src ~dst ~k =
+  let h = mix64 (Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L) in
+  let h = feed h fault in
+  let h = feed h src in
+  let h = feed h dst in
+  feed h k
+
+(* Uniform in [0,1) from the top 53 bits. *)
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let chance ~seed ~fault ~src ~dst ~k p =
+  p > 0.0 && u01 (decision_hash ~seed ~fault ~src ~dst ~k) < p
+
+(* ---------------- bookkeeping ---------------- *)
+
+let record t ~fault ~label ~src ~dst ~k counter =
+  Atomic.incr counter;
+  let ev = Int64.to_int (decision_hash ~seed:t.seed ~fault ~src ~dst ~k) land max_int in
+  (* Commutative fold: the digest is interleaving-independent. *)
+  let rec add () =
+    let cur = Atomic.get t.digest in
+    if not (Atomic.compare_and_set t.digest cur ((cur + ev) land max_int)) then add ()
+  in
+  add ();
+  let slot = Atomic.fetch_and_add t.log_len 1 in
+  if slot < max_logged then t.log.(slot) <- Some { label; src; dst; k }
+
+let schedule_digest t = Atomic.get t.digest
+
+let events t =
+  let len = Stdlib.min (Atomic.get t.log_len) max_logged in
+  List.filter_map (fun i -> t.log.(i)) (List.init len Fun.id)
+
+let counts t =
+  [
+    ("partition_drops", Atomic.get t.partition_drops);
+    ("loss_drops", Atomic.get t.loss_drops);
+    ("duplicates", Atomic.get t.duplicates);
+    ("reorders", Atomic.get t.reorders);
+    ("corruptions", Atomic.get t.corruptions);
+    ("churn_drops", Atomic.get t.churn_drops);
+    ("skew_scalings", Atomic.get t.skew_scalings);
+  ]
+
+let total_injected t =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (counts t)
+
+(* ---------------- queries ---------------- *)
+
+let node_down t ~now ~node =
+  Array.exists
+    (fun (_, f) ->
+      match f with
+      | Scenario.Churn { node = m; window } ->
+          m = node && Scenario.active window ~now
+      | _ -> false)
+    t.faults
+
+(* Latest close of a churn window covering [node] at [now]; [now] when
+   the node is up — backends park suppressed timers here so a rejoining
+   node resumes its timer-driven behaviour (with stale state). *)
+let down_until t ~now ~node =
+  Array.fold_left
+    (fun acc (_, f) ->
+      match f with
+      | Scenario.Churn { node = m; window }
+        when m = node && Scenario.active window ~now ->
+          Stdlib.max acc window.Scenario.until
+      | _ -> acc)
+    now t.faults
+
+let timer_scale t ~now ~node =
+  Array.fold_left
+    (fun acc (_, f) ->
+      match f with
+      | Scenario.Clock_skew { node = sel; factor; window }
+        when Scenario.active window ~now
+             && (match sel with None -> true | Some m -> m = node) ->
+          if acc = 1.0 then Atomic.incr t.skew_scalings;
+          acc *. factor
+      | _ -> acc)
+    1.0 t.faults
+
+let same_group groups src dst =
+  (* Cross-group traffic is cut; a node in no group talks to everyone. *)
+  match
+    ( List.find_opt (List.mem src) groups,
+      List.find_opt (List.mem dst) groups )
+  with
+  | Some g1, Some g2 -> g1 == g2
+  | _ -> true
+
+let bump_link t ~src ~dst =
+  let table = t.links.(src) in
+  match Hashtbl.find_opt table dst with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.add table dst (ref 1);
+      1
+
+let on_send t ~now ~src ~dst =
+  let k = bump_link t ~src ~dst in
+  if Array.length t.faults = 0 then pass_action ~k
+  else begin
+    let seed = t.seed in
+    let drop = ref false and dropped_by = ref None in
+    let copies = ref 1 and extra_delay = ref 0.0 and corrupt = ref false in
+    Array.iter
+      (fun (fault, f) ->
+        if not !drop then
+          match f with
+          | Scenario.Churn { node; window } when Scenario.active window ~now ->
+              if node = src || node = dst then begin
+                drop := true;
+                dropped_by := Some ("churn", fault)
+              end
+          | Scenario.Partition { groups; window }
+            when Scenario.active window ~now ->
+              if not (same_group groups src dst) then begin
+                drop := true;
+                dropped_by := Some ("partition", fault)
+              end
+          | Scenario.Link_loss { src = s; dst = d; p; window }
+            when Scenario.active window ~now
+                 && (match s with None -> true | Some m -> m = src)
+                 && (match d with None -> true | Some m -> m = dst) ->
+              if chance ~seed ~fault ~src ~dst ~k p then begin
+                drop := true;
+                dropped_by := Some ("loss", fault)
+              end
+          | _ -> ())
+      t.faults;
+    match !dropped_by with
+    | Some (label, fault) ->
+        let counter =
+          match label with
+          | "churn" -> t.churn_drops
+          | "partition" -> t.partition_drops
+          | _ -> t.loss_drops
+        in
+        record t ~fault ~label ~src ~dst ~k counter;
+        { drop = true; copies = 0; extra_delay = 0.0; corrupt = false; link_count = k }
+    | None ->
+        Array.iter
+          (fun (fault, f) ->
+            match f with
+            | Scenario.Duplicate { p; window } when Scenario.active window ~now ->
+                if chance ~seed ~fault ~src ~dst ~k p then begin
+                  copies := !copies + 1;
+                  record t ~fault ~label:"dup" ~src ~dst ~k t.duplicates
+                end
+            | Scenario.Reorder { p; max_delay; window }
+              when Scenario.active window ~now ->
+                if chance ~seed ~fault ~src ~dst ~k p then begin
+                  let h = decision_hash ~seed ~fault:(fault + 7919) ~src ~dst ~k in
+                  extra_delay := !extra_delay +. (u01 h *. max_delay);
+                  record t ~fault ~label:"reorder" ~src ~dst ~k t.reorders
+                end
+            | Scenario.Corrupt { p; window } when Scenario.active window ~now ->
+                if chance ~seed ~fault ~src ~dst ~k p then begin
+                  corrupt := true;
+                  record t ~fault ~label:"corrupt" ~src ~dst ~k t.corruptions
+                end
+            | _ -> ())
+          t.faults;
+        {
+          drop = false;
+          copies = !copies;
+          extra_delay = !extra_delay;
+          corrupt = !corrupt;
+          link_count = k;
+        }
+  end
+
+(* Deterministic byte flips for the live backend: 1-3 positions chosen
+   by the same hash family, so a given (seed, link, k) always mangles
+   the same way. Flipping anywhere in the frame — magic, length or
+   payload — is exactly what the decoder's resync path must absorb. *)
+let corrupt_payload t ~src ~dst ~k payload =
+  let len = String.length payload in
+  if len = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let h0 = decision_hash ~seed:t.seed ~fault:104729 ~src ~dst ~k in
+    let flips = 1 + (Int64.to_int h0 land 1) + (Int64.to_int h0 lsr 1 land 1) in
+    for i = 0 to flips - 1 do
+      let h = feed h0 i in
+      let pos = Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int len)) in
+      let mask = 1 + (Int64.to_int (Int64.shift_right_logical h 13) land 0xFE) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask land 0xFF))
+    done;
+    Bytes.unsafe_to_string b
+  end

@@ -1,0 +1,66 @@
+(** Seed-deterministic fault injection shared by both backends.
+
+    Every decision is a pure hash of [(seed, fault index, src, dst, k)]
+    where [k] is the per-link send counter, advanced on {e every} send.
+    There is no mutable RNG stream, so two backends observing the same
+    per-link traffic inject the identical fault sequence for the same
+    seed — determinism is per-link and survives multi-domain shard
+    scheduling. Injection counts, a bounded event log and an
+    interleaving-independent schedule digest are kept per instance
+    (atomics — the live shards share one injector). *)
+
+type action = {
+  drop : bool;  (** Discard the send (partition / link loss / churn). *)
+  copies : int;  (** Deliveries to make: 1 normal, 2+ duplicated, 0 dropped. *)
+  extra_delay : float;  (** Reorder holdback, in clock units. *)
+  corrupt : bool;  (** Flip bytes in the encoded frame (live backend). *)
+  link_count : int;  (** The [k] this decision was derived from. *)
+}
+
+type event = { label : string; src : int; dst : int; k : int }
+
+type t
+
+val create : seed:int -> n:int -> Scenario.t -> t
+(** @raise Invalid_argument if [n < 1]. *)
+
+val scenario : t -> Scenario.t
+val seed : t -> int
+
+val on_send : t -> now:float -> src:int -> dst:int -> action
+(** Decide the fate of one send. Must be called exactly once per
+    protocol-level send so both backends agree on [k]; apply [copies] /
+    [extra_delay] / [corrupt] to the delivery. Only the source's owning
+    shard may call this for a given [src]. *)
+
+val node_down : t -> now:float -> node:int -> bool
+(** Churn: is [node] out of the cluster at [now]? Backends suppress the
+    node's deliveries, timers and request arrivals while down; it
+    rejoins with whatever stale state it had. *)
+
+val down_until : t -> now:float -> node:int -> float
+(** Latest close of a churn window covering [node] at [now]; [now] when
+    the node is up. Backends park suppressed timers here so a rejoining
+    node resumes its timer-driven behaviour (with stale state). *)
+
+val timer_scale : t -> now:float -> node:int -> float
+(** Clock-skew factor to multiply a timer delay armed by [node] at
+    [now]; [1.0] when no skew window is active. *)
+
+val corrupt_payload : t -> src:int -> dst:int -> k:int -> string -> string
+(** Deterministically flip 1-3 bytes of an encoded frame — same
+    [(seed, link, k)], same mangling. *)
+
+val counts : t -> (string * int) list
+(** Injection counters by fault class:
+    [partition_drops], [loss_drops], [duplicates], [reorders],
+    [corruptions], [churn_drops], [skew_scalings]. *)
+
+val total_injected : t -> int
+
+val schedule_digest : t -> int
+(** Order-independent hash over every injected event — equal per-link
+    event sets digest equal regardless of backend interleaving. *)
+
+val events : t -> event list
+(** The first 64 injected events (slot order). *)

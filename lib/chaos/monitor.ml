@@ -1,0 +1,66 @@
+(* Online stabilization monitor — the operational reading of the prefix
+   property (reactive proof-labeling's "has the run re-stabilized?"),
+   phrased so both backends can answer it the same way: after every
+   fault window closes at [clear_time], each (probed) node must get a
+   post-clear request served. The instant the last one does is
+   [stabilized_at]; a protocol that leaves a node unserved past the
+   deadline is flagged as not recovering.
+
+   Per-node cells have a single writer (the node's shard / the one sim
+   domain), so plain arrays suffice; aggregate queries are meant for
+   after the run or best-effort polling during it. *)
+
+type t = {
+  n : int;
+  clear_time : float;
+  deadline : float;
+  probed : bool array;
+  first_serve : float array;  (* nan until the node's post-clear serve *)
+}
+
+let create ~n ~clear_time ~deadline =
+  if n < 1 then invalid_arg "Monitor.create: n < 1";
+  if deadline <= clear_time then invalid_arg "Monitor.create: deadline before clear";
+  {
+    n;
+    clear_time;
+    deadline;
+    probed = Array.make n false;
+    first_serve = Array.make n nan;
+  }
+
+let clear_time t = t.clear_time
+let deadline t = t.deadline
+let note_probe t ~node = t.probed.(node) <- true
+
+let note_serve t ~now ~node =
+  if now >= t.clear_time && t.probed.(node) && Float.is_nan t.first_serve.(node)
+  then t.first_serve.(node) <- now
+
+let pending_nodes t =
+  List.filter
+    (fun i -> t.probed.(i) && Float.is_nan t.first_serve.(i))
+    (List.init t.n Fun.id)
+
+let probed_count t =
+  Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 t.probed
+
+let stabilized_at t =
+  if probed_count t = 0 then None
+  else
+    let worst = ref t.clear_time and complete = ref true in
+    Array.iteri
+      (fun i p ->
+        if p then
+          let s = t.first_serve.(i) in
+          if Float.is_nan s then complete := false
+          else if s > !worst then worst := s)
+      t.probed;
+    if !complete then Some !worst else None
+
+let recovered t = stabilized_at t <> None
+
+let recovery_time t =
+  Option.map (fun s -> s -. t.clear_time) (stabilized_at t)
+
+let flagged t ~now = now >= t.deadline && not (recovered t)

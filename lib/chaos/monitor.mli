@@ -1,0 +1,38 @@
+(** Online stabilization monitor.
+
+    The operational reading of the prefix property for chaos runs: after
+    every fault window closes at [clear_time], each probed node must get
+    a post-clear request served. [stabilized_at] is the instant the last
+    one does; a run that leaves a probed node unserved past [deadline]
+    is {!flagged} as not recovering. Per-node cells have one writer (the
+    node's owning shard), so the monitor is safe to feed from live taps;
+    aggregate queries are for after the run or best-effort polling. *)
+
+type t
+
+val create : n:int -> clear_time:float -> deadline:float -> t
+(** @raise Invalid_argument if [n < 1] or [deadline <= clear_time]. *)
+
+val clear_time : t -> float
+val deadline : t -> float
+
+val note_probe : t -> node:int -> unit
+(** Declare that [node] has (or will get) a post-clear probe request.
+    Only probed nodes participate in stabilization. *)
+
+val note_serve : t -> now:float -> node:int -> unit
+(** Feed every serve; pre-clear serves and unprobed nodes are ignored. *)
+
+val stabilized_at : t -> float option
+(** Time the last probed node got its post-clear serve; [None] while
+    any is still waiting (or nothing was probed). *)
+
+val recovered : t -> bool
+val recovery_time : t -> float option
+(** [stabilized_at - clear_time]. *)
+
+val flagged : t -> now:float -> bool
+(** True once [now] passed the deadline without recovery. *)
+
+val pending_nodes : t -> int list
+(** Probed nodes still waiting for their post-clear serve. *)

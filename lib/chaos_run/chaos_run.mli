@@ -1,0 +1,73 @@
+(** One-call chaos runs: a protocol under a declarative fault scenario
+    on either backend, with the same probe-based recovery measurement.
+
+    Both runners follow one shape so outcomes table cleanly across
+    backends: background load arrives every [mean] units while the
+    scenario's fault windows are open; when the last window clears,
+    every node gets one probe request; recovery is the instant the last
+    probed node drains its queue. A run that leaves a probed node
+    unserved past the deadline is {e flagged} — the protocol did not
+    self-stabilize out of that fault. The injector's schedule digest is
+    carried into the outcome, so same-seed sim/live runs can certify
+    they injected the identical fault sequence. *)
+
+type outcome = {
+  protocol : string;
+  backend : string;  (** ["sim"], ["loopback"] or ["unix"]. *)
+  spec : string;
+  seed : int;
+  n : int;
+  clear_time : float;
+  deadline : float;  (** Absolute recovery deadline, units. *)
+  duration : float;  (** Virtual time the run actually covered. *)
+  grants : int;
+  grant_latency_mean : float;
+  grant_latency_p99 : float;
+  recovered : bool;
+  recovery_time : float;  (** [stabilized - clear]; [nan] when not recovered. *)
+  flagged : bool;
+  unrecovered_nodes : int;
+  injected : (string * int) list;
+  total_injected : int;
+  digest : int;
+  corrupt_frames_detected : int;  (** Live backends only; [0] in sim. *)
+}
+
+val default_deadline : n:int -> float
+(** [40n] units — generous against the random walk's O(n log n)
+    no-visit timeout at bench sizes. *)
+
+val run_sim :
+  protocol:string ->
+  n:int ->
+  seed:int ->
+  spec:string ->
+  ?mean:float ->
+  ?deadline:float ->
+  unit ->
+  outcome
+(** Discrete-event backend. [mean] (default 10) spaces the scripted
+    pre-clear load; [deadline] (default {!default_deadline}) is relative
+    to the scenario's clear time.
+    @raise Invalid_argument on a spec that fails to parse or validate. *)
+
+val run_live :
+  protocol:string ->
+  n:int ->
+  seed:int ->
+  spec:string ->
+  ?backend:Tr_net_rt.Cluster.backend_spec ->
+  ?mean:float ->
+  ?deadline:float ->
+  ?unit_s:float ->
+  ?shards:int ->
+  unit ->
+  outcome
+(** Live runtime backend (in-process loopback unless [backend] says
+    sockets). A driver domain injects the load and probes through the
+    cluster's {!Tr_net_rt.Cluster.control} handle and polls per-node
+    queue depths for the recovery instant.
+    @raise Invalid_argument on a spec that fails to parse or validate. *)
+
+val outcome_json : outcome -> string
+(** One JSON object, newline-terminated. *)

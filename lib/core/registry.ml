@@ -27,6 +27,7 @@ let all =
     entry `Extension Tr_proto.Failure.protocol;
     entry `Extension Tr_proto.Failsafe_search.protocol;
     entry `Extension Tr_proto.Membership.protocol;
+    entry `Extension Tr_proto.Random_walk.protocol;
   ]
 
 let names = List.map (fun e -> e.name) all

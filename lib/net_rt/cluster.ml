@@ -23,6 +23,7 @@ type config = {
   readiness : Readiness.backend option;
   spin : bool;
   inproc : bool;
+  chaos : Tr_chaos.Injector.t option;
 }
 
 let default_shards n = Stdlib.min n (Stdlib.max 2 (Domain.recommended_domain_count ()))
@@ -42,6 +43,7 @@ let default_config ~n ~seed =
     readiness = None;
     spin = false;
     inproc = false;
+    chaos = None;
   }
 
 type control = {
@@ -50,6 +52,7 @@ type control = {
   live_now : unit -> float;
   inject : int -> unit;
   transport_stats : Transport.stats;
+  pending_at : int -> int;
 }
 
 type report = {
@@ -81,6 +84,11 @@ type report = {
   sqes_submitted : int;
   inproc_frames : int;
   syscalls_per_grant : float;
+  corrupt_frames_detected : int;
+  chaos_spec : string;
+  chaos_injected : (string * int) list;
+  chaos_total_injected : int;
+  chaos_digest : int;
   metrics : Metrics.t;
 }
 
@@ -193,6 +201,21 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
   let timers = Array.init n (fun _ -> Pqueue.create ()) in
   let epochs = Array.init n (fun _ -> Hashtbl.create 8) in
   let req_inbox : float Mailbox.t array = Array.init n (fun _ -> Mailbox.create ()) in
+  (* Chaos holdback: reordered frames wait here (per source node, owned
+     by its shard) until their release time, then ship with zero delay —
+     one mechanism for both backends, since the sockets transport has no
+     delay of its own to piggyback on. *)
+  let chaos_out : (int * string) Pqueue.t array =
+    match config.chaos with
+    | Some _ -> Array.init n (fun _ -> Pqueue.create ())
+    | None -> [||]
+  in
+  let chaos_down node =
+    match config.chaos with
+    | None -> false
+    | Some inj ->
+        Tr_chaos.Injector.node_down inj ~now:(Clock.now clock) ~node
+  in
   let current_epoch ~node ~key =
     match Hashtbl.find_opt epochs.(node) key with Some e -> e | None -> 0
   in
@@ -213,6 +236,10 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
             wake_node i
           end);
       transport_stats = Transport.stats transport;
+      pending_at =
+        (fun i ->
+          if i < 0 || i >= n then 0
+          else with_mu (fun () -> Metrics.pending metrics ~node:i));
     }
   in
   let make_ctx node : m Node_intf.ctx =
@@ -224,17 +251,64 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
       if dst < 0 || dst >= n then
         invalid_arg "Cluster: send destination out of range";
       with_mu (fun () -> Metrics.on_message metrics channel (P.classify msg));
-      let frame = Codec.encode_frame scratch codec ~src:node ~channel msg in
       let delay =
         match channel with
         | Network.Reliable -> config.hop_delay
         | Network.Cheap -> config.cheap_delay
       in
-      Transport.send_frame transport ~src:node ~dst ~delay frame
+      (* Chaos interposition, live side: pre-encode decisions (drop /
+         duplicate / reorder), post-encode byte flips for corruption —
+         mangled frames go down the real wire and must be absorbed by
+         the decoder's resync path on the receiving shard. *)
+      match config.chaos with
+      | None ->
+          let frame = Codec.encode_frame scratch codec ~src:node ~channel msg in
+          Transport.send_frame transport ~src:node ~dst ~delay frame
+      | Some inj ->
+          let now_u = Clock.now clock in
+          let a = Tr_chaos.Injector.on_send inj ~now:now_u ~src:node ~dst in
+          if not a.Tr_chaos.Injector.drop then begin
+            let frame =
+              Codec.encode_frame scratch codec ~src:node ~channel msg
+            in
+            if
+              (not a.Tr_chaos.Injector.corrupt)
+              && a.Tr_chaos.Injector.extra_delay = 0.0
+              && a.Tr_chaos.Injector.copies = 1
+            then Transport.send_frame transport ~src:node ~dst ~delay frame
+            else begin
+              let payload = Buffer.contents frame in
+              let payload =
+                if a.Tr_chaos.Injector.corrupt then
+                  Tr_chaos.Injector.corrupt_payload inj ~src:node ~dst
+                    ~k:a.Tr_chaos.Injector.link_count payload
+                else payload
+              in
+              for _ = 1 to a.Tr_chaos.Injector.copies do
+                if a.Tr_chaos.Injector.extra_delay > 0.0 then begin
+                  let release =
+                    now_u +. delay +. a.Tr_chaos.Injector.extra_delay
+                  in
+                  Pqueue.push chaos_out.(node) ~time:release (dst, payload);
+                  if use_poll then
+                    Pqueue.push timer_index.(shard_of.(node)) ~time:release node
+                end
+                else
+                  Transport.send transport ~src:node ~dst ~delay payload
+              done
+            end
+          end
     in
     let set_timer ~delay ~key =
       if delay < 0.0 then invalid_arg "Cluster: negative timer delay";
       if key < 0 then invalid_arg "Cluster: negative timer key";
+      let delay =
+        match config.chaos with
+        | None -> delay
+        | Some inj ->
+            delay
+            *. Tr_chaos.Injector.timer_scale inj ~now:(Clock.now clock) ~node
+      in
       let at = Clock.now clock +. delay in
       Pqueue.push timers.(node) ~time:at (key, current_epoch ~node ~key);
       if use_poll then Pqueue.push timer_index.(shard_of.(node)) ~time:at node
@@ -329,8 +403,35 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
         Some (pump, next)
     | _ -> None
   in
+  (* Ship reordered frames whose holdback expired. Runs even while the
+     source is churned down — the frames left it before the window. *)
+  let flush_chaos_out i now_u =
+    if Array.length chaos_out > 0 then begin
+      let q = chaos_out.(i) in
+      while (not (Pqueue.is_empty q)) && Pqueue.top_time_exn q <= now_u do
+        let dst, payload = Pqueue.pop_exn q in
+        Transport.send transport ~src:i ~dst ~delay:0.0 payload
+      done
+    end
+  in
   let step_node rt now_u =
     let i = rt.id in
+    flush_chaos_out i now_u;
+    if chaos_down i then begin
+      (* Churned out: frames addressed to it are destroyed, timers and
+         queued arrivals are parked for rejoin. Re-index the node at the
+         window's close so the socket shard re-activates it then. *)
+      Transport.poll transport ~owner:i (fun _ -> ());
+      if use_poll then
+        match config.chaos with
+        | Some inj ->
+            let resume =
+              Tr_chaos.Injector.down_until inj ~now:(Clock.now clock) ~node:i
+            in
+            Pqueue.push timer_index.(shard_of.(i)) ~time:resume i
+        | None -> ()
+    end
+    else
     let arrivals = Mailbox.drain req_inbox.(i) in
     if Atomic.get alive.(i) then begin
       List.iter
@@ -396,6 +497,13 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
           match Pqueue.peek_time timers.(rt.id) with
           | Some t -> Float.min acc t
           | None -> acc
+        in
+        let acc =
+          if Array.length chaos_out = 0 then acc
+          else
+            match Pqueue.peek_time chaos_out.(rt.id) with
+            | Some t -> Float.min acc t
+            | None -> acc
         in
         match Transport.next_due transport ~owner:rt.id with
         | Some t -> Float.min acc t
@@ -586,6 +694,27 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
            (s.Transport.snap_write_syscalls + s.Transport.snap_read_syscalls
           + wait_calls)
          /. float_of_int grants);
+    (* Cluster-level corruption roll-up: envelope decode failures plus
+       framing-level resync skips — everything the wire layer detected
+       and survived, the number chaos corruption runs assert on. *)
+    corrupt_frames_detected =
+      s.Transport.snap_decode_errors + s.Transport.snap_resync_skips;
+    chaos_spec =
+      (match config.chaos with
+      | None -> ""
+      | Some inj -> Tr_chaos.Scenario.spec (Tr_chaos.Injector.scenario inj));
+    chaos_injected =
+      (match config.chaos with
+      | None -> []
+      | Some inj -> Tr_chaos.Injector.counts inj);
+    chaos_total_injected =
+      (match config.chaos with
+      | None -> 0
+      | Some inj -> Tr_chaos.Injector.total_injected inj);
+    chaos_digest =
+      (match config.chaos with
+      | None -> 0
+      | Some inj -> Tr_chaos.Injector.schedule_digest inj);
     metrics;
   }
 

@@ -56,6 +56,15 @@ type config = {
   inproc : bool;
       (** In-process delivery fast path between co-hosted nodes
           (sockets only; see {!Transport.sockets}). Default off. *)
+  chaos : Tr_chaos.Injector.t option;
+      (** Fault-injection shim on the frame path: every protocol send
+          consults the injector before encoding (drop / duplicate /
+          reorder holdback), corruption flips bytes in the encoded frame
+          after encoding (exercising the decoder's resync path), timer
+          delays are scaled by active clock-skew windows, and churned
+          nodes have their deliveries destroyed and their timers and
+          request arrivals parked until rejoin. [None] — the default —
+          keeps the zero-copy send path untouched. *)
 }
 
 val default_config : n:int -> seed:int -> config
@@ -81,6 +90,10 @@ type control = {
       (** The run's live transport counters (atomics) — lets an embedder
           surface [frames_dropped] / [out_hwm_bytes] in a periodic
           report while the run is still going. *)
+  pending_at : int -> int;
+      (** Outstanding (injected but unserved) requests at a node right
+          now; [0] for out-of-range ids. Callable from any domain — the
+          chaos harness polls this to timestamp post-fault recovery. *)
 }
 
 type report = {
@@ -130,6 +143,20 @@ type report = {
           syscall floor this run actually paid. On the readiness
           backends a hop costs ~3 (write, wait, read); completion mode
           collapses it toward 1 and the in-process path toward 0. *)
+  corrupt_frames_detected : int;
+      (** Cluster-level corruption roll-up: [decode_errors +
+          resync_skips] — every frame the wire layer had to reject or
+          skip past, whatever the cause. *)
+  chaos_spec : string;
+      (** The chaos scenario spec in force, [""] when no injector. *)
+  chaos_injected : (string * int) list;
+      (** Injection counters by fault class (see
+          {!Tr_chaos.Injector.counts}); [[]] when no injector. *)
+  chaos_total_injected : int;
+  chaos_digest : int;
+      (** Order-independent digest of the injected-event schedule —
+          equal digests across backends certify identical fault
+          sequences for the same seed. [0] when no injector. *)
   metrics : Tr_sim.Metrics.t;
 }
 

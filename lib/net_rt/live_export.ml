@@ -90,6 +90,12 @@ let json_of_report (r : Cluster.report) =
       ("sqes_submitted", string_of_int r.sqes_submitted);
       ("inproc_frames", string_of_int r.inproc_frames);
       ("syscalls_per_grant", json_float r.syscalls_per_grant);
+      ("corrupt_frames_detected", string_of_int r.corrupt_frames_detected);
+      ("chaos_spec", json_string r.chaos_spec);
+      ( "chaos_injected",
+        obj (List.map (fun (k, v) -> (k, string_of_int v)) r.chaos_injected) );
+      ("chaos_total_injected", string_of_int r.chaos_total_injected);
+      ("chaos_digest", string_of_int r.chaos_digest);
       ("pending", string_of_int (Metrics.total_pending m));
       ("responsiveness", summary_json (Metrics.responsiveness m));
       ( "responsiveness_quantiles",

@@ -1,0 +1,98 @@
+open Tr_sim
+
+type msg = Token of { gen : int; serial : int }
+type state = { last_gen : int; last_serial : int }
+
+let name = "random-walk"
+
+let describe =
+  "self-stabilizing random-walk circulation (Bernard/Bui/Sohier): the \
+   token hops to a uniformly random node, stale or duplicated tokens \
+   are destroyed by a (generation, serial) order, and a staggered \
+   timeout regenerates a lost token with a higher generation"
+
+let classify (Token _) = Metrics.Token_msg
+let label (Token { gen; serial }) = Printf.sprintf "walk#%d.%d" gen serial
+
+let timer_watch = 1
+
+(* No-visit timeout before a node assumes the token died. A random walk
+   on the complete graph revisits a given node every ~n hops with
+   geometric tail, so c·n·(1 + ln n) makes a spurious timeout vanishingly
+   rare; the per-node stagger keeps simultaneous regenerations (which
+   briefly yield rival walks the order below must then thin out) from
+   being the common case. *)
+let watch_timeout ~self ~n =
+  let n_f = float_of_int n in
+  8.0 *. n_f *. (1.0 +. log n_f) *. (1.0 +. (0.25 *. float_of_int self /. n_f))
+
+let arm_watch (ctx : msg Node_intf.ctx) =
+  ctx.cancel_timers ~key:timer_watch;
+  ctx.set_timer ~delay:(watch_timeout ~self:ctx.self ~n:ctx.n) ~key:timer_watch
+
+let serve_all (ctx : msg Node_intf.ctx) =
+  while ctx.pending () > 0 do
+    ctx.serve ()
+  done
+
+(* Uniform over the other n-1 nodes. *)
+let random_peer (ctx : msg Node_intf.ctx) =
+  let r = Rng.int ctx.rng (ctx.n - 1) in
+  if r >= ctx.self then r + 1 else r
+
+let hold_and_pass (ctx : msg Node_intf.ctx) ~gen ~serial =
+  ctx.possession ();
+  serve_all ctx;
+  arm_watch ctx;
+  let serial = serial + 1 in
+  ctx.send ~dst:(random_peer ctx) (Token { gen; serial });
+  { last_gen = gen; last_serial = serial }
+
+let init (ctx : msg Node_intf.ctx) =
+  arm_watch ctx;
+  if ctx.self = 0 then hold_and_pass ctx ~gen:1 ~serial:0
+  else { last_gen = 0; last_serial = 0 }
+
+let on_message (ctx : msg Node_intf.ctx) state ~src:_ (Token { gen; serial }) =
+  (* Strict (gen, serial) dominance: a network duplicate carries the
+     serial this node already recorded when it forwarded the first copy,
+     and a walk from a dead generation is below the regenerated one —
+     both are destroyed here, which is the whole self-stabilization
+     argument (plus the timeout below as the lost-token backstop). *)
+  if gen > state.last_gen || (gen = state.last_gen && serial > state.last_serial)
+  then hold_and_pass ctx ~gen ~serial
+  else begin
+    ctx.note (fun () ->
+        Printf.sprintf "destroy stale walk#%d.%d (have %d.%d)" gen serial
+          state.last_gen state.last_serial);
+    state
+  end
+
+let on_timer (ctx : msg Node_intf.ctx) state ~key =
+  if key <> timer_watch then state
+  else begin
+    (* No sighting for a whole watch window: assume the walk died and
+       start a successor generation. A rival regeneration resolves by
+       the dominance order above. *)
+    ctx.note (fun () ->
+        Printf.sprintf "regenerate walk gen %d" (state.last_gen + 1));
+    hold_and_pass ctx ~gen:(state.last_gen + 1) ~serial:state.last_serial
+  end
+
+(* Circulation alone finds every request; a ready node does nothing. *)
+let on_request _ctx state = state
+
+let protocol : (module Node_intf.PROTOCOL) =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = name
+    let describe = describe
+    let classify = classify
+    let label = label
+    let init = init
+    let on_message = on_message
+    let on_timer = on_timer
+    let on_request = on_request
+  end)

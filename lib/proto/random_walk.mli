@@ -1,0 +1,27 @@
+(** Self-stabilizing random-walk token circulation — the chaos suite's
+    comparator (Bernard, Bui & Sohier, arXiv:1109.3561).
+
+    The token performs a uniform random walk: each holder serves its
+    outstanding requests, then forwards to a uniformly random other
+    node, so a lone request waits the walk's hitting time (~N hops in
+    expectation on the complete graph) instead of the ring's fixed
+    rotation. What it buys is self-stabilization: tokens carry a
+    [(generation, serial)] stamp, every node records the highest stamp
+    it forwarded, and an arriving token that does not strictly dominate
+    the record is destroyed — which kills network duplicates (they
+    revisit the node that already advanced the serial) and walks from
+    superseded generations. A staggered no-visit timeout regenerates a
+    lost token under a fresh generation, so the protocol re-establishes
+    a single circulating token after loss, duplication or partition
+    without any global coordination. *)
+
+open Tr_sim
+
+type msg = Token of { gen : int; serial : int }
+(** [gen] increments on regeneration; [serial] on every hop. Strict
+    lexicographic dominance decides survival. *)
+
+include Node_intf.PROTOCOL with type msg := msg
+
+val protocol : (module Node_intf.PROTOCOL)
+(** First-class handle for {!Tr_sim.Engine.Make}-based runners. *)

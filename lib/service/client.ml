@@ -54,6 +54,7 @@ let validate cfg =
     cfg.phases
 
 type result = {
+  seed : int;  (** The run's RNG seed, echoed for provenance. *)
   sent : int;
   welcomes : int;
   grants : int;
@@ -511,6 +512,7 @@ let run cfg =
           (ms s.Slo.p50) (ms s.Slo.p99) (ms s.Slo.p999))
       phase_snaps;
   {
+    seed = cfg.seed;
     sent = !sent;
     welcomes = !welcomes;
     grants = !grants;
@@ -531,6 +533,7 @@ let result_json (r : result) =
   obj
     [
       ("kind", json_string "loadgen");
+      ("seed", string_of_int r.seed);
       ("sent", string_of_int r.sent);
       ("grants", string_of_int r.grants);
       ("releaseds", string_of_int r.releaseds);

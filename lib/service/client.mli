@@ -46,6 +46,7 @@ val validate : config -> unit
     duration or open-loop rate, negative think time. *)
 
 type result = {
+  seed : int;  (** The run's RNG seed, echoed for provenance. *)
   sent : int;
   welcomes : int;
   grants : int;

@@ -526,6 +526,7 @@ let stats_json ~(outcome : outcome) ~app ~adaptive =
   obj
     [
       ("kind", json_string "service");
+      ("seed", string_of_int outcome.report.Cluster.seed);
       ("app", json_string (app_name app));
       ("adaptive", if adaptive then "true" else "false");
       ("accepted", string_of_int st.accepted);

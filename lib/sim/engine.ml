@@ -12,6 +12,7 @@ type config = {
   trace : bool;
   trace_window : int option;
   crashes : (float * int) list;
+  chaos : Tr_chaos.Injector.t option;
 }
 
 let default_config ~n ~seed =
@@ -23,6 +24,7 @@ let default_config ~n ~seed =
     trace = false;
     trace_window = None;
     crashes = [];
+    chaos = None;
   }
 
 (* [stop] trees compile to three scalar limits: [stop_reached] is an OR
@@ -175,7 +177,26 @@ module Make (P : Node_intf.PROTOCOL) = struct
       if Trace.enabled t.trace then
         Trace.record t.trace ~time:t.clock
           (Trace.Sent { src = node; dst; channel; label = P.label msg });
-      if Network.dropped t.config.network t.net_rng channel ~src:node ~dst then begin
+      (* Chaos interposition, delivery side: the injector decides drop /
+         duplicate / extra delay / corrupt for every protocol send. The
+         simulator has no bytes, so a corrupted message is modelled as
+         detect-and-drop — the abstract reading of the live decoder
+         discarding a mangled frame and resyncing. *)
+      let chaos_action =
+        match t.config.chaos with
+        | None -> None
+        | Some inj ->
+            Some (Tr_chaos.Injector.on_send inj ~now:t.clock ~src:node ~dst)
+      in
+      let chaos_dropped =
+        match chaos_action with
+        | Some a -> a.Tr_chaos.Injector.drop || a.Tr_chaos.Injector.corrupt
+        | None -> false
+      in
+      if
+        chaos_dropped
+        || Network.dropped t.config.network t.net_rng channel ~src:node ~dst
+      then begin
         if Trace.enabled t.trace then
           Trace.record t.trace ~time:t.clock
             (Trace.Dropped { src = node; dst; label = P.label msg })
@@ -185,18 +206,31 @@ module Make (P : Node_intf.PROTOCOL) = struct
           Network.sample_delay t.config.network t.net_rng channel ~src:node
             ~dst
         in
-        let e = acquire t in
-        e.tag <- Deliver;
-        e.src <- node;
-        e.dst <- dst;
-        e.channel <- channel;
-        e.msg <- msg;
-        Pqueue.push t.queue ~time:(t.clock +. delay) e
+        let copies, extra_delay =
+          match chaos_action with
+          | Some a -> (a.Tr_chaos.Injector.copies, a.Tr_chaos.Injector.extra_delay)
+          | None -> (1, 0.0)
+        in
+        for _ = 1 to copies do
+          let e = acquire t in
+          e.tag <- Deliver;
+          e.src <- node;
+          e.dst <- dst;
+          e.channel <- channel;
+          e.msg <- msg;
+          Pqueue.push t.queue ~time:(t.clock +. delay +. extra_delay) e
+        done
       end
     in
     let set_timer ~delay ~key =
       if delay < 0.0 then invalid_arg "Engine: negative timer delay";
       check_timer_key key;
+      let delay =
+        match t.config.chaos with
+        | None -> delay
+        | Some inj ->
+            delay *. Tr_chaos.Injector.timer_scale inj ~now:t.clock ~node
+      in
       let e = acquire t in
       e.tag <- Timer;
       e.src <- node;
@@ -317,8 +351,16 @@ module Make (P : Node_intf.PROTOCOL) = struct
       schedule_crashes t
     end
 
+  (* Churn: a node inside a down-window is unreachable — deliveries to
+     it are destroyed (that is the fault being injected: a token sent to
+     a churned node is lost). *)
+  let chaos_down t node =
+    match t.config.chaos with
+    | None -> false
+    | Some inj -> Tr_chaos.Injector.node_down inj ~now:t.clock ~node
+
   let deliver t ~src ~dst ~msg =
-    if not t.crashed.(dst) then begin
+    if not (t.crashed.(dst) || chaos_down t dst) then begin
       if Trace.enabled t.trace then
         Trace.record t.trace ~time:t.clock
           (Trace.Delivered { src; dst; label = P.label msg });
@@ -326,11 +368,28 @@ module Make (P : Node_intf.PROTOCOL) = struct
     end
 
   let fire_timer t ~node ~key ~epoch =
-    if (not t.crashed.(node)) && epoch >= timer_epoch t ~node ~key then
-      t.states.(node) <- P.on_timer t.ctxs.(node) t.states.(node) ~key
+    if (not t.crashed.(node)) && epoch >= timer_epoch t ~node ~key then begin
+      (* Unlike deliveries, a down node's timers are parked, not lost:
+         they re-fire when the node rejoins, so timeout-driven recovery
+         (token regeneration) resumes against its stale state. *)
+      let resume =
+        match t.config.chaos with
+        | None -> t.clock
+        | Some inj -> Tr_chaos.Injector.down_until inj ~now:t.clock ~node
+      in
+      if resume > t.clock then begin
+        let e = acquire t in
+        e.tag <- Timer;
+        e.src <- node;
+        e.dst <- key;
+        e.epoch <- epoch;
+        Pqueue.push t.queue ~time:(resume +. 1e-9) e
+      end
+      else t.states.(node) <- P.on_timer t.ctxs.(node) t.states.(node) ~key
+    end
 
   let arrive t nodes =
-    let live node = not t.crashed.(node) in
+    let live node = not (t.crashed.(node) || chaos_down t node) in
     List.iter
       (fun node ->
         if live node then begin

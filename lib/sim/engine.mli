@@ -28,10 +28,18 @@ type config = {
           [window] trace entries in a ring buffer — bounded memory for
           long runs. [None] retains everything. *)
   crashes : (float * int) list;  (** (time, node) fail-stop injections. *)
+  chaos : Tr_chaos.Injector.t option;
+      (** Fault-injection shim on the delivery path: every protocol send
+          consults the injector (drop / duplicate / extra delay /
+          corrupt-as-detect-and-drop), timer delays are scaled by active
+          clock-skew windows, and churned nodes lose deliveries and
+          arrivals while down (their timers are parked until rejoin).
+          [None] — the default — is a true no-op. *)
 }
 
 val default_config : n:int -> seed:int -> config
-(** Unit-delay reliable network, no workload, no trace, no crashes. *)
+(** Unit-delay reliable network, no workload, no trace, no crashes, no
+    chaos. *)
 
 module Make (P : Node_intf.PROTOCOL) : sig
   type t

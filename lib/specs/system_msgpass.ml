@@ -134,6 +134,62 @@ let rule_dup_token =
          Term.Wild)
     ()
 
+(* A stale "gimme" request materialises in some node's input set — the
+   model of a delayed retransmission from a past round surviving in the
+   network (the live chaos engine's reorder/dup faults produce exactly
+   this). The payload names the requester the receiver should ship the
+   token to. *)
+let gimme y = Term.App ("gimme", [ y ])
+
+let rule_stale_gimme ~n =
+  Rule.make ~name:"stale-gimme"
+    ~lhs:(wrap Term.Wild Term.Wild Term.Wild (Term.Var "I") Term.Wild)
+    ~rhs:
+      (wrap Term.Wild Term.Wild Term.Wild
+         (Term.Bag
+            [ Term.Var "I"; msg (Term.Var "x") (Term.Var "y") (gimme (Term.Var "y")) ])
+         Term.Wild)
+    ~extend:
+      (compose_extends
+         [
+           (fun s -> extend_each "x" (fun _ -> List.map node (all_nodes ~n)) s);
+           (fun s -> extend_each "y" (fun _ -> List.map node (all_nodes ~n)) s);
+         ])
+    ()
+
+(* A node honours a stale gimme by minting a fresh token from its local
+   (possibly stale) history — if the real token is alive elsewhere, the
+   state now carries two. This is the protocol bug the request actually
+   tempts an implementor into: regenerating on request instead of on
+   verified loss. *)
+let rule_gimme_regenerate =
+  Rule.make ~name:"gimme-regenerate"
+    ~lhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild
+         (Term.Bag
+            [ Term.Var "I"; msg (Term.Var "x") (Term.Var "y") (gimme (Term.Var "y")) ])
+         (Term.Var "O"))
+    ~rhs:
+      (wrap Term.Wild
+         (Term.Bag [ Term.Var "P"; pent (Term.Var "x") (Term.Var "H") ])
+         Term.Wild (Term.Var "I")
+         (Term.Bag
+            [ Term.Var "O"; msg (Term.Var "x") (Term.Var "y") (tok (Term.Var "H")) ]))
+    ()
+
+(* The current holder fail-stops: its token evaporates with it (T goes
+   to bot without any send). The guard keeps the rule off drained
+   states where nobody holds. *)
+let rule_crash_holder =
+  Rule.make ~name:"crash-holder"
+    ~lhs:(wrap Term.Wild Term.Wild (Term.Var "x") Term.Wild Term.Wild)
+    ~rhs:(wrap Term.Wild Term.Wild bot Term.Wild Term.Wild)
+    ~guard:(fun s ->
+      match Subst.find_exn s "x" with Term.Int _ -> true | _ -> false)
+    ()
+
 let any_node ~n _subst = List.map node (all_nodes ~n)
 
 let ring_successor ~n subst =
@@ -148,7 +204,12 @@ let system ~n = System.make ~name:"Message-Passing" ~rules:(base_rules ~n)
 
 let system_faulty ~n =
   System.make ~name:"Message-Passing+faults"
-    ~rules:(base_rules ~n @ [ rule_lose_token; rule_dup_token ])
+    ~rules:
+      (base_rules ~n
+      @ [
+          rule_lose_token; rule_dup_token; rule_stale_gimme ~n;
+          rule_gimme_regenerate; rule_crash_holder;
+        ])
 
 let system_ring ~n =
   System.make ~name:"Message-Passing-ring"

@@ -30,12 +30,17 @@ val system_with_pass : n:int -> System.t
     stutter). *)
 
 val system_faulty : n:int -> System.t
-(** Opt-in fault model: [system] plus a [lose-token] rule (the network
-    drops an in-flight token message) and a [dup-token] rule (the network
-    delivers it twice). Both break token uniqueness, so exploring this
-    system with {!Prefix.check_msgpass} must surface prefix-property
-    violations — the exhaustive counterpart of the chaos suite's
-    loss/duplication faults. *)
+(** Opt-in fault model: [system] plus five fault transitions —
+    [lose-token] (the network drops an in-flight token message),
+    [dup-token] (the network delivers it twice), [stale-gimme] (a stale
+    token request from a past round materialises in some input set),
+    [gimme-regenerate] (a node honours a stale gimme by minting a fresh
+    token from its local history, duplicating the live one), and
+    [crash-holder] (the holder fail-stops and its token evaporates).
+    Every one of them breaks token uniqueness one way or the other, so
+    exploring this system with {!Prefix.check_msgpass} must surface
+    prefix-property violations — the exhaustive counterpart of the chaos
+    suite's loss/duplication/churn faults. *)
 
 val initial : n:int -> data_budget:int -> Term.t
 val local_histories : Term.t -> (int * Term.t) list

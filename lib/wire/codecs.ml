@@ -543,6 +543,24 @@ let membership =
           Ok (Relink { leaver; new_succ })
       | t -> bad_tag "ring-membership" t)
 
+(* ---------------- random-walk ---------------- *)
+
+let random_walk =
+  let open Tr_proto.Random_walk in
+  make_codec ~name:"random-walk" ~key:14 ~version:1
+    (fun b (Token { gen; serial }) ->
+      Buf.Enc.byte b 0;
+      Buf.Enc.int b gen;
+      Buf.Enc.int b serial)
+    (fun d ->
+      let* tag = byte d in
+      match tag with
+      | 0 ->
+          let* gen = int d in
+          let* serial = int d in
+          Ok (Token { gen; serial })
+      | t -> bad_tag "random-walk" t)
+
 (* ---------------- registry ---------------- *)
 
 type packed =
@@ -573,6 +591,7 @@ let all =
     pack (module (val Tr_proto.Failure.make ())) failure;
     pack (module (val Tr_proto.Failsafe_search.make ())) failsafe_search;
     pack (module (val Tr_proto.Membership.make ())) membership;
+    pack (module Tr_proto.Random_walk) random_walk;
   ]
 
 let name_of (Packed ((module P), _)) = P.name

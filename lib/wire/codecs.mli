@@ -25,6 +25,7 @@ val pushpull : Tr_proto.Pushpull.msg Codec.t
 val failure : Tr_proto.Failure.msg Codec.t
 val failsafe_search : Tr_proto.Failsafe_search.msg Codec.t
 val membership : Tr_proto.Membership.msg Codec.t
+val random_walk : Tr_proto.Random_walk.msg Codec.t
 
 (** A protocol module packaged with its codec, the message type hidden
     but shared between the two — everything the live runtime needs to
@@ -35,7 +36,7 @@ type packed =
       -> packed
 
 val all : packed list
-(** One entry per registry protocol (14 of them). *)
+(** One entry per registry protocol (15 of them). *)
 
 val find : string -> packed option
 (** Look up by registry protocol name (e.g. ["binsearch-throttle"]). *)

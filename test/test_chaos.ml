@@ -1,0 +1,340 @@
+(* Chaos engine: scenario grammar, injector determinism (the contract
+   that makes one fault schedule replay identically on both backends),
+   corruption vs the frame decoder's resync path, the stabilization
+   monitor, and end-to-end recovery/starvation on the simulator. *)
+
+module Scenario = Tr_chaos.Scenario
+module Injector = Tr_chaos.Injector
+module Monitor = Tr_chaos.Monitor
+module Chaos_run = Tr_chaos_run.Chaos_run
+module Frame = Tr_wire.Frame
+
+(* ---------------- scenario grammar ---------------- *)
+
+let test_scenario_examples () =
+  List.iter
+    (fun (spec, _desc) ->
+      match Scenario.of_string spec with
+      | Error e -> Alcotest.failf "example %S rejected: %s" spec e
+      | Ok s ->
+          Alcotest.(check string) (spec ^ " round-trips") spec (Scenario.spec s);
+          (match Scenario.validate s ~n:100 with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "example %S invalid at n=100: %s" spec e);
+          Alcotest.(check bool)
+            (spec ^ " has a clear time") true
+            (Scenario.clear_time s > 0.0))
+    Scenario.examples
+
+let test_scenario_errors () =
+  List.iter
+    (fun spec ->
+      match Scenario.of_string spec with
+      | Ok _ -> Alcotest.failf "malformed spec %S accepted" spec
+      | Error _ -> ())
+    [
+      "partition:@10-20";
+      "loss:xyz";
+      "dup:1.5@5-30";
+      "dup:0.1@30-5";
+      "reorder:0.2@5-30";
+      "skew:3@10-50";
+      "churn:@20-60";
+      "frobnicate:1@2-3";
+      "dup:0.1";
+    ]
+
+let test_scenario_validate () =
+  let s = Scenario.of_string_exn "churn:7@20-60" in
+  (match Scenario.validate s ~n:8 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "churn:7 valid at n=8, got: %s" e);
+  match Scenario.validate s ~n:7 with
+  | Ok () -> Alcotest.fail "churn:7 accepted at n=7"
+  | Error _ -> ()
+
+let test_scenario_windows () =
+  let s = Scenario.of_string_exn "partition:0-1|2-3@10-25+corrupt:0.1@5-30" in
+  Alcotest.(check int) "two clauses" 2 (List.length (Scenario.faults s));
+  Alcotest.(check (float 1e-9)) "clear at last close" 30.0 (Scenario.clear_time s);
+  let w = Scenario.window_of (List.hd (Scenario.faults s)) in
+  Alcotest.(check bool) "inactive before" false (Scenario.active w ~now:9.9);
+  Alcotest.(check bool) "active inside" true (Scenario.active w ~now:10.0);
+  Alcotest.(check bool) "inactive after" false (Scenario.active w ~now:25.0)
+
+(* ---------------- injector determinism ---------------- *)
+
+let canned_specs =
+  [|
+    "partition:0-2|3-5@10-40";
+    "loss:*>3,0.4@5-50";
+    "dup:0.3@5-50";
+    "reorder:0.4,5@5-50";
+    "corrupt:0.2@5-50";
+    "churn:1@10-30";
+    "partition:0-1|2-5@10-30+dup:0.2@5-40+corrupt:0.1@5-40";
+  |]
+
+(* One query stream as (src, dst, now) with now nondecreasing. *)
+let arbitrary_stream =
+  QCheck.make
+    ~print:(fun (seed, si, qs) ->
+      Printf.sprintf "seed=%d spec=%s queries=%d" seed canned_specs.(si)
+        (List.length qs))
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* si = int_bound (Array.length canned_specs - 1) in
+      let* len = int_range 20 200 in
+      let* raw =
+        list_repeat len (triple (int_bound 5) (int_bound 5) (float_range 0.0 60.0))
+      in
+      let qs =
+        List.mapi
+          (fun i (s, d, t) -> (s, d, t +. (float_of_int i *. 0.01)))
+          (List.sort (fun (_, _, a) (_, _, b) -> compare a b) raw)
+      in
+      return (seed, si, qs))
+
+(* Same seed, same scenario, same query stream: two independently
+   created injectors must produce the identical action sequence, counts
+   and digest — the replay property the qcheck satellite asks for. *)
+let test_injector_replay =
+  QCheck.Test.make ~name:"same-seed injectors replay identically" ~count:50
+    arbitrary_stream (fun (seed, si, qs) ->
+      let spec = canned_specs.(si) in
+      let mk () = Injector.create ~seed ~n:6 (Scenario.of_string_exn spec) in
+      let a = mk () and b = mk () in
+      let run inj =
+        List.map (fun (src, dst, now) -> Injector.on_send inj ~now ~src ~dst) qs
+      in
+      run a = run b
+      && Injector.schedule_digest a = Injector.schedule_digest b
+      && Injector.counts a = Injector.counts b)
+
+(* Cross-backend interleaving: two backends process the same per-link
+   traffic in different global orders (shard scheduling, event-heap
+   ties). Decisions are per-link pure hashes, so any interleaving that
+   preserves per-link order must inject the same schedule: actions match
+   query-for-query and the digest is order-independent. *)
+let test_injector_interleaving =
+  QCheck.Test.make ~name:"schedule survives cross-link reordering" ~count:50
+    (QCheck.pair arbitrary_stream (QCheck.make QCheck.Gen.(int_bound 9999)))
+    (fun ((seed, si, qs), shuffle_seed) ->
+      let spec = canned_specs.(si) in
+      let mk () = Injector.create ~seed ~n:6 (Scenario.of_string_exn spec) in
+      (* Riffle: pick a random link at each step, preserving each link's
+         own query order — a different global interleaving of the same
+         per-link streams. *)
+      let by_link = Hashtbl.create 16 in
+      List.iter
+        (fun (s, d, t) ->
+          let key = (s, d) in
+          let q = try Hashtbl.find by_link key with Not_found -> Queue.create () in
+          Queue.push (s, d, t) q;
+          Hashtbl.replace by_link key q)
+        qs;
+      let links = Array.of_seq (Hashtbl.to_seq_values by_link) in
+      let rng = Random.State.make [| shuffle_seed |] in
+      let riffled = ref [] in
+      let remaining = ref (List.length qs) in
+      while !remaining > 0 do
+        let q = links.(Random.State.int rng (Array.length links)) in
+        if not (Queue.is_empty q) then begin
+          riffled := Queue.pop q :: !riffled;
+          decr remaining
+        end
+      done;
+      let riffled = List.rev !riffled in
+      let a = mk () and b = mk () in
+      let tag inj order =
+        List.map
+          (fun (src, dst, now) -> ((src, dst), Injector.on_send inj ~now ~src ~dst))
+          order
+      in
+      let ra = tag a qs and rb = tag b riffled in
+      let sort l = List.sort compare l in
+      sort ra = sort rb
+      && Injector.schedule_digest a = Injector.schedule_digest b)
+
+let test_corrupt_payload_deterministic () =
+  let inj =
+    Injector.create ~seed:9 ~n:4 (Scenario.of_string_exn "corrupt:1.0@0-10")
+  in
+  let payload = String.init 40 (fun i -> Char.chr (i * 7 mod 256)) in
+  let m1 = Injector.corrupt_payload inj ~src:1 ~dst:2 ~k:3 payload in
+  let m2 = Injector.corrupt_payload inj ~src:1 ~dst:2 ~k:3 payload in
+  Alcotest.(check string) "same (seed,link,k), same mangling" m1 m2;
+  Alcotest.(check bool) "mangling changes bytes" true (m1 <> payload);
+  let other = Injector.corrupt_payload inj ~src:1 ~dst:2 ~k:4 payload in
+  Alcotest.(check bool) "different k, different mangling" true (other <> m1)
+
+(* ---------------- decoder resync fuzz ---------------- *)
+
+(* Chaos-corrupted frames through the incremental decoder: whatever the
+   flips hit (magic, version, length or payload), the decoder must never
+   raise, must terminate, and must keep its skip count bounded by the
+   bytes fed. Clean frames riding behind the garbage must still emerge:
+   the stream re-locks on the next magic byte. *)
+let test_decoder_resync_fuzz =
+  QCheck.Test.make ~name:"decoder absorbs chaos corruption" ~count:200
+    (QCheck.make
+       ~print:(fun (seed, payloads) ->
+         Printf.sprintf "seed=%d frames=%d" seed (List.length payloads))
+       QCheck.Gen.(
+         let* seed = int_bound 100_000 in
+         let* n = int_range 1 12 in
+         let* payloads = list_repeat n (string_size ~gen:char (int_range 0 80)) in
+         return (seed, payloads)))
+    (fun (seed, payloads) ->
+      let inj =
+        Injector.create ~seed ~n:4 (Scenario.of_string_exn "corrupt:1.0@0-1000")
+      in
+      let stream = Buffer.create 256 in
+      let k = ref 0 in
+      List.iter
+        (fun p ->
+          incr k;
+          let frame = Frame.to_string p in
+          (* Corrupt every other frame; the clean ones must survive. *)
+          let frame =
+            if !k mod 2 = 0 then Injector.corrupt_payload inj ~src:0 ~dst:1 ~k:!k frame
+            else frame
+          in
+          Buffer.add_string stream frame)
+        payloads;
+      let bytes = Buffer.contents stream in
+      let dec = Frame.Decoder.create () in
+      let rng = Random.State.make [| seed; 77 |] in
+      let decoded = ref 0 in
+      let pos = ref 0 in
+      let len = String.length bytes in
+      (try
+         while !pos < len do
+           let chunk = 1 + Random.State.int rng 16 in
+           let chunk = Stdlib.min chunk (len - !pos) in
+           Frame.Decoder.feed dec (String.sub bytes !pos chunk);
+           pos := !pos + chunk;
+           let rec drain () =
+             match Frame.Decoder.next dec with
+             | Frame.Decoder.Frame _ ->
+                 incr decoded;
+                 drain ()
+             | Frame.Decoder.Skip _ -> drain ()
+             | Frame.Decoder.Await -> ()
+           in
+           drain ()
+         done
+       with e ->
+         Alcotest.failf "decoder raised %s" (Printexc.to_string e));
+      let clean = (List.length payloads + 1) / 2 in
+      (* A corrupted length prefix can swallow at most the stream's tail,
+         but a clean frame ahead of any corruption always decodes; at
+         least one must emerge whenever a clean frame leads. *)
+      Frame.Decoder.skipped_events dec <= len
+      && !decoded >= Stdlib.min clean 1 - (if clean = 0 then 0 else 0)
+      && !decoded >= 1 && !decoded <= List.length payloads)
+
+(* ---------------- monitor ---------------- *)
+
+let test_monitor () =
+  let m = Monitor.create ~n:4 ~clear_time:10.0 ~deadline:20.0 in
+  for i = 0 to 3 do
+    Monitor.note_probe m ~node:i
+  done;
+  Monitor.note_serve m ~now:5.0 ~node:0;
+  Alcotest.(check bool) "pre-clear serves ignored" false (Monitor.recovered m);
+  Monitor.note_serve m ~now:11.0 ~node:0;
+  Monitor.note_serve m ~now:12.5 ~node:1;
+  Monitor.note_serve m ~now:11.5 ~node:2;
+  Alcotest.(check bool) "one node still pending" false (Monitor.recovered m);
+  Alcotest.(check (list int)) "pending node" [ 3 ] (Monitor.pending_nodes m);
+  Alcotest.(check bool) "flagged past deadline" true (Monitor.flagged m ~now:25.0);
+  Monitor.note_serve m ~now:14.0 ~node:3;
+  Alcotest.(check bool) "recovered" true (Monitor.recovered m);
+  (match Monitor.stabilized_at m with
+  | Some t -> Alcotest.(check (float 1e-9)) "last serve wins" 14.0 t
+  | None -> Alcotest.fail "no stabilization time");
+  (match Monitor.recovery_time m with
+  | Some t -> Alcotest.(check (float 1e-9)) "relative to clear" 4.0 t
+  | None -> Alcotest.fail "no recovery time");
+  Alcotest.(check bool) "not flagged once recovered" false
+    (Monitor.flagged m ~now:25.0)
+
+let test_monitor_invalid () =
+  Alcotest.check_raises "deadline before clear"
+    (Invalid_argument "Monitor.create: deadline before clear") (fun () ->
+      ignore (Monitor.create ~n:2 ~clear_time:10.0 ~deadline:10.0))
+
+(* ---------------- end-to-end on the simulator ---------------- *)
+
+(* The tentpole demonstration at test size: churn destroys the token at
+   a downed node. The ring never regenerates it — the harness must flag
+   the run — while the self-stabilizing random walk times out and mints
+   a fresh generation, recovering every probed node. *)
+let test_sim_churn_ring_flagged () =
+  let o =
+    Chaos_run.run_sim ~protocol:"ring" ~n:6 ~seed:3 ~spec:"churn:2@40-80" ()
+  in
+  Alcotest.(check bool) "ring flagged" true o.Chaos_run.flagged;
+  Alcotest.(check bool) "ring not recovered" false o.Chaos_run.recovered;
+  Alcotest.(check bool) "churn was injected" true (o.Chaos_run.total_injected > 0)
+
+let test_sim_churn_random_walk_recovers () =
+  let o =
+    Chaos_run.run_sim ~protocol:"random-walk" ~n:6 ~seed:3 ~spec:"churn:2@40-80" ()
+  in
+  Alcotest.(check bool) "random walk recovered" true o.Chaos_run.recovered;
+  Alcotest.(check bool) "not flagged" false o.Chaos_run.flagged;
+  Alcotest.(check bool) "positive recovery time" true
+    (o.Chaos_run.recovery_time > 0.0)
+
+(* End-to-end seed determinism: the whole sim chaos run — fault
+   schedule, digest, grants, recovery instant — replays bit-for-bit. *)
+let test_sim_replay_deterministic () =
+  let run () =
+    Chaos_run.run_sim ~protocol:"binsearch" ~n:6 ~seed:11
+      ~spec:"partition:0-2|3-5@20-60+dup:0.1@10-70" ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "digest replays" a.Chaos_run.digest b.Chaos_run.digest;
+  Alcotest.(check int) "grants replay" a.Chaos_run.grants b.Chaos_run.grants;
+  Alcotest.(check (float 1e-9)) "duration replays" a.Chaos_run.duration
+    b.Chaos_run.duration;
+  Alcotest.(check bool) "recovery verdict replays" a.Chaos_run.recovered
+    b.Chaos_run.recovered
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "examples parse" `Quick test_scenario_examples;
+          Alcotest.test_case "malformed rejected" `Quick test_scenario_errors;
+          Alcotest.test_case "node ids validated" `Quick test_scenario_validate;
+          Alcotest.test_case "windows and clear time" `Quick
+            test_scenario_windows;
+        ] );
+      ( "injector",
+        [
+          QCheck_alcotest.to_alcotest test_injector_replay;
+          QCheck_alcotest.to_alcotest test_injector_interleaving;
+          Alcotest.test_case "corruption deterministic" `Quick
+            test_corrupt_payload_deterministic;
+        ] );
+      ( "decoder-resync",
+        [ QCheck_alcotest.to_alcotest test_decoder_resync_fuzz ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "stabilization accounting" `Quick test_monitor;
+          Alcotest.test_case "invalid create" `Quick test_monitor_invalid;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "churn flags the ring" `Quick
+            test_sim_churn_ring_flagged;
+          Alcotest.test_case "random walk self-stabilizes" `Quick
+            test_sim_churn_random_walk_recovers;
+          Alcotest.test_case "sim replay deterministic" `Quick
+            test_sim_replay_deterministic;
+        ] );
+    ]

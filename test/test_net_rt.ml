@@ -52,7 +52,7 @@ let test_all_protocols_live () =
       "ring"; "tree"; "suzuki-kasami"; "seq-search"; "binsearch";
       "binsearch-throttle"; "directed"; "binsearch-gc-rotation";
       "binsearch-gc-inverse"; "adaptive"; "pushpull"; "ring-failsafe";
-      "binsearch-failsafe"; "ring-membership";
+      "binsearch-failsafe"; "ring-membership"; "random-walk";
     ]
 
 (* ---------------- sim-vs-live trend cross-validation ---------------- *)

@@ -783,7 +783,10 @@ let test_faulty_rules_fire () =
   List.iter
     (fun rule ->
       Alcotest.(check bool) (rule ^ " fires") true (List.mem rule fired))
-    [ "lose-token"; "dup-token" ]
+    [
+      "lose-token"; "dup-token"; "stale-gimme"; "gimme-regenerate";
+      "crash-holder";
+    ]
 
 let () =
   Alcotest.run "specs"

@@ -188,6 +188,11 @@ let membership_gen =
         small_nat small_nat;
     ]
 
+let random_walk_gen =
+  QCheck.Gen.map2
+    (fun gen serial -> Tr_proto.Random_walk.Token { gen; serial })
+    any_int any_int
+
 (* ---------------- round-trip property ---------------- *)
 
 (* Encode a full envelope frame, push it through the streaming decoder
@@ -237,6 +242,7 @@ let roundtrip_tests =
     roundtrip_test "failure" Codecs.failure failure_gen;
     roundtrip_test "failsafe-search" Codecs.failsafe_search failsafe_gen;
     roundtrip_test "membership" Codecs.membership membership_gen;
+    roundtrip_test "random-walk" Codecs.random_walk random_walk_gen;
   ]
 
 (* ---------------- fuzz: decoding never raises ---------------- *)
@@ -469,7 +475,7 @@ let test_oversized_length_is_skip () =
     (Frame.Decoder.skipped_events dec > 0)
 
 let test_registry_complete () =
-  Alcotest.(check int) "14 packed protocols" 14 (List.length Codecs.all);
+  Alcotest.(check int) "15 packed protocols" 15 (List.length Codecs.all);
   List.iter
     (fun name ->
       match Codecs.find name with
@@ -479,7 +485,7 @@ let test_registry_complete () =
       "ring"; "tree"; "suzuki-kasami"; "seq-search"; "binsearch";
       "binsearch-throttle"; "directed"; "binsearch-gc-rotation";
       "binsearch-gc-inverse"; "adaptive"; "pushpull"; "ring-failsafe";
-      "binsearch-failsafe"; "ring-membership";
+      "binsearch-failsafe"; "ring-membership"; "random-walk";
     ]
 
 let test_zigzag_extremes () =
