@@ -1426,7 +1426,7 @@ let chaos_cmd =
     in
     Arg.(
       value
-      & opt string "partition:0-1|2-99@50-150+corrupt:0.02@20-200"
+      & opt string "partition:0-3|4-7@50-150+corrupt:0.02@20-200"
       & info [ "spec" ] ~docv:"SPEC" ~doc)
   in
   let backend_arg =

@@ -155,16 +155,21 @@ let down_until t ~now ~node =
     now t.faults
 
 let timer_scale t ~now ~node =
-  Array.fold_left
-    (fun acc (_, f) ->
-      match f with
-      | Scenario.Clock_skew { node = sel; factor; window }
-        when Scenario.active window ~now
-             && (match sel with None -> true | Some m -> m = node) ->
-          if acc = 1.0 then Atomic.incr t.skew_scalings;
-          acc *. factor
-      | _ -> acc)
-    1.0 t.faults
+  let scale =
+    Array.fold_left
+      (fun acc (_, f) ->
+        match f with
+        | Scenario.Clock_skew { node = sel; factor; window }
+          when Scenario.active window ~now
+               && (match sel with None -> true | Some m -> m = node) ->
+            acc *. factor
+        | _ -> acc)
+      1.0 t.faults
+  in
+  (* Count only scalings that actually changed a delay: overlapping
+     windows may multiply out to 1.0, and a factor of 1.0 is a no-op. *)
+  if scale <> 1.0 then Atomic.incr t.skew_scalings;
+  scale
 
 let same_group groups src dst =
   (* Cross-group traffic is cut; a node in no group talks to everyone. *)

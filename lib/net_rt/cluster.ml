@@ -201,6 +201,15 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
   let timers = Array.init n (fun _ -> Pqueue.create ()) in
   let epochs = Array.init n (fun _ -> Hashtbl.create 8) in
   let req_inbox : float Mailbox.t array = Array.init n (fun _ -> Mailbox.create ()) in
+  (* Requests pushed but not yet drained by the owning shard. Metrics
+     only learn of a request at drain time, so [pending_at] adds this
+     on top — otherwise a poll racing the shard (chaos recovery probes)
+     reads pending=0 for a request that is merely still in the mailbox. *)
+  let req_inflight = Array.init n (fun _ -> Atomic.make 0) in
+  let push_request i at =
+    Atomic.incr req_inflight.(i);
+    Mailbox.push req_inbox.(i) at
+  in
   (* Chaos holdback: reordered frames wait here (per source node, owned
      by its shard) until their release time, then ship with zero delay —
      one mechanism for both backends, since the sockets transport has no
@@ -232,14 +241,16 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
              the owning shard and poke that shard's wake pipe. Safe from
              any domain — the mailbox is lock-free. *)
           if i >= 0 && i < n && Atomic.get alive.(i) then begin
-            Mailbox.push req_inbox.(i) (Clock.now clock);
+            push_request i (Clock.now clock);
             wake_node i
           end);
       transport_stats = Transport.stats transport;
       pending_at =
         (fun i ->
           if i < 0 || i >= n then 0
-          else with_mu (fun () -> Metrics.pending metrics ~node:i));
+          else
+            with_mu (fun () -> Metrics.pending metrics ~node:i)
+            + Atomic.get req_inflight.(i));
     }
   in
   let make_ctx node : m Node_intf.ctx =
@@ -334,7 +345,7 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
           (* Re-arm through the mailbox so the protocol handler finishes
              before the next on_request fires (the simulator queues the
              re-request as an event for the same reason). *)
-          Mailbox.push req_inbox.(node) (Clock.now clock);
+          push_request node (Clock.now clock);
           note_local node
       | _ -> ());
       match config.stop with
@@ -374,7 +385,7 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
       List.iter
         (fun i ->
           for _ = 1 to depth do
-            Mailbox.push req_inbox.(i) t0
+            push_request i t0
           done)
         owned
   | _ -> ());
@@ -395,7 +406,7 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
             | [] -> signal_stop ()
             | _ ->
                 let pick = List.nth live (Rng.int rng (List.length live)) in
-                Mailbox.push req_inbox.(pick) !next;
+                push_request pick !next;
                 wake_node pick);
             next := !next +. Rng.exponential rng ~mean:mean_interarrival
           done
@@ -437,6 +448,9 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
       List.iter
         (fun at ->
           with_mu (fun () -> Metrics.on_request metrics ~time:at ~node:i);
+          (* Decrement after the metric records it: [pending_at] may
+             briefly double-count, never read 0 for a queued request. *)
+          Atomic.decr req_inflight.(i);
           rt.st <- P.on_request rt.ctx rt.st)
         arrivals;
       let tq = timers.(i) in
@@ -482,7 +496,9 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
       end
     end
     else begin
-      (* Dead node: everything addressed to it evaporates. *)
+      (* Dead node: everything addressed to it evaporates. The drained
+         arrivals keep their [req_inflight] counts — a dead node can
+         never serve, so [pending_at] must not read 0 for them. *)
       Pqueue.clear timers.(i);
       Transport.poll transport ~owner:i (fun _ -> ())
     end
@@ -491,7 +507,17 @@ let run (type m) ?tap ?attach ?(backend = Loopback) config
     List.fold_left
       (fun acc rt ->
         let acc =
-          if Mailbox.is_empty req_inbox.(rt.id) then acc else now_u
+          if Mailbox.is_empty req_inbox.(rt.id) then acc
+          else if chaos_down rt.id then
+            (* Parked arrivals at a churned-down node are only due when
+               the window closes — treating them as due now would make
+               the shard busy-spin for the whole churn window. *)
+            match config.chaos with
+            | Some inj ->
+                Float.min acc
+                  (Tr_chaos.Injector.down_until inj ~now:now_u ~node:rt.id)
+            | None -> now_u
+          else Float.min acc now_u
         in
         let acc =
           match Pqueue.peek_time timers.(rt.id) with
